@@ -1,0 +1,33 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one paper artifact (table/figure) or one
+ablation on the simulation substrate.  Runs are single-shot
+(``benchmark.pedantic(..., rounds=1)``) because each is a complete
+deterministic experiment, not a microbenchmark; the interesting output
+is the reproduced numbers, attached as ``extra_info`` and printed.
+
+Packet count per payload size defaults to a CI-friendly value; override
+with ``REPRO_PACKETS`` (the paper used 50 000):
+
+    REPRO_PACKETS=50000 pytest benchmarks/ --benchmark-only
+"""
+
+import os
+
+import pytest
+
+
+def bench_packets(default: int = 300) -> int:
+    value = os.environ.get("REPRO_PACKETS", "")
+    return int(value) if value else default
+
+
+@pytest.fixture
+def packets() -> int:
+    return bench_packets()
+
+
+def attach_table(benchmark, title: str, text: str) -> None:
+    """Record a reproduced artifact on the benchmark and print it."""
+    benchmark.extra_info["artifact"] = title
+    print(f"\n{text}\n")

@@ -1,0 +1,46 @@
+"""E1 / Fig. 3: round-trip latency distributions, VirtIO vs XDMA.
+
+Regenerates the distribution data behind Figure 3 for the paper's five
+payload sizes and checks its defining shape: VirtIO's distribution body
+sits at or below XDMA's with visibly smaller spread.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import attach_table
+from repro.core.calibration import PAPER_PAYLOAD_SIZES
+from repro.core.experiments import figure3
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig3_latency_distribution(benchmark, packets):
+    def regenerate():
+        return figure3(payload_sizes=PAPER_PAYLOAD_SIZES, packets=packets, seed=0)
+
+    comparison, text = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    attach_table(benchmark, "Figure 3", text)
+
+    for payload in PAPER_PAYLOAD_SIZES:
+        virtio = comparison.virtio[payload]
+        xdma = comparison.xdma[payload]
+        v_summary = virtio.rtt_summary()
+        x_summary = xdma.rtt_summary()
+        benchmark.extra_info[f"virtio_{payload}B_mean_us"] = round(v_summary.mean_us, 2)
+        benchmark.extra_info[f"xdma_{payload}B_mean_us"] = round(x_summary.mean_us, 2)
+
+        # Shape: the VirtIO body is at or below XDMA's...
+        assert v_summary.median_us <= x_summary.median_us
+        # ...with a tighter spread (Fig. 3: "much lower variance").
+        v_spread = np.percentile(virtio.adjusted_rtt_ps, 90) - np.percentile(
+            virtio.adjusted_rtt_ps, 10
+        )
+        x_spread = np.percentile(xdma.adjusted_rtt_ps, 90) - np.percentile(
+            xdma.adjusted_rtt_ps, 10
+        )
+        assert v_spread < x_spread
+
+        # Both distributions are unimodal around their body: the modal
+        # bin of the histogram holds a solid share of samples.
+        histogram = virtio.histogram(bins=40)
+        assert histogram.counts.max() > 0.05 * histogram.total

@@ -1,0 +1,45 @@
+"""E2 / Fig. 4: VirtIO round-trip latency breakdown (hardware vs
+software), with the response-generation time deducted per Section IV-B.
+
+Shape assertions match the paper's reading of the figure:
+
+* hardware time exceeds software time at every payload,
+* the software component is virtually constant across payloads,
+* hardware variance is minimal (performance counters barely spread).
+"""
+
+import pytest
+
+from benchmarks.conftest import attach_table
+from repro.core.calibration import PAPER_PAYLOAD_SIZES
+from repro.core.experiments import figure4
+from repro.core.results import breakdown_rows
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig4_virtio_breakdown(benchmark, packets):
+    def regenerate():
+        return figure4(payload_sizes=PAPER_PAYLOAD_SIZES, packets=packets, seed=0)
+
+    sweep, text = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    attach_table(benchmark, "Figure 4", text)
+
+    rows = breakdown_rows(sweep)
+    for row in rows:
+        benchmark.extra_info[f"hw_{row.payload}B_us"] = round(row.hw_mean_us, 2)
+        benchmark.extra_info[f"sw_{row.payload}B_us"] = round(row.sw_mean_us, 2)
+        # "the time taken by the hardware is higher than the time for
+        # software with the VirtIO driver"
+        assert row.hw_mean_us > row.sw_mean_us
+        # "the time taken by the hardware ... has minimal variance"
+        assert row.hw_std_us < row.sw_std_us
+
+    # "the average latency for the software stack remains virtually
+    # constant throughout the range of payloads considered"
+    sw_means = [row.sw_mean_us for row in rows]
+    assert (max(sw_means) - min(sw_means)) / min(sw_means) < 0.15
+
+    # The hardware share grows with payload (the byte-serial datapath).
+    hw_means = [row.hw_mean_us for row in rows]
+    assert hw_means == sorted(hw_means)
+    assert hw_means[-1] > hw_means[0] * 1.5

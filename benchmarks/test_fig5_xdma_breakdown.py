@@ -1,0 +1,38 @@
+"""E3 / Fig. 5: XDMA round-trip latency breakdown.
+
+Shape assertions:
+
+* software time exceeds hardware time at every payload (the inverse of
+  Fig. 4 -- "and vice versa with the XDMA driver"),
+* the hardware share grows with payload while software stays flat.
+"""
+
+import pytest
+
+from benchmarks.conftest import attach_table
+from repro.core.calibration import PAPER_PAYLOAD_SIZES
+from repro.core.experiments import figure5
+from repro.core.results import breakdown_rows
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig5_xdma_breakdown(benchmark, packets):
+    def regenerate():
+        return figure5(payload_sizes=PAPER_PAYLOAD_SIZES, packets=packets, seed=0)
+
+    sweep, text = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    attach_table(benchmark, "Figure 5", text)
+
+    rows = breakdown_rows(sweep)
+    for row in rows:
+        benchmark.extra_info[f"hw_{row.payload}B_us"] = round(row.hw_mean_us, 2)
+        benchmark.extra_info[f"sw_{row.payload}B_us"] = round(row.sw_mean_us, 2)
+        # "the time taken by the hardware is higher ... with the VirtIO
+        # driver and vice versa with the XDMA driver"
+        assert row.sw_mean_us > row.hw_mean_us
+
+    sw_means = [row.sw_mean_us for row in rows]
+    assert (max(sw_means) - min(sw_means)) / min(sw_means) < 0.15
+
+    hw_means = [row.hw_mean_us for row in rows]
+    assert hw_means == sorted(hw_means)

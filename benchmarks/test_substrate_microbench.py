@@ -1,0 +1,109 @@
+"""Microbenchmarks of the simulation substrate itself.
+
+These time the hot paths that bound experiment wall-clock cost: the
+event loop, the PCIe transaction round trip, the virtqueue bookkeeping,
+and a complete echo round trip on each testbed.  Regressions here make
+the 50 000-packet full-fidelity runs impractical, so they are tracked
+as real (multi-round) pytest benchmarks.
+"""
+
+import pytest
+
+from repro.core.calibration import FPGA_IP, TEST_DST_PORT
+from repro.core.testbed import build_virtio_testbed, build_xdma_testbed
+from repro.host.chardev import sys_read, sys_write
+from repro.mem.dma import DmaAllocator
+from repro.mem.physical import PhysicalMemory
+from repro.sim.kernel import Simulator
+from repro.sim.time import ns
+from repro.virtio.virtqueue import DriverVirtqueue, ring_layout
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_event_loop_throughput(benchmark):
+    """Raw event dispatch rate of the kernel."""
+
+    def run_events():
+        sim = Simulator(seed=0)
+
+        def ping():
+            for _ in range(10_000):
+                yield ns(10)
+
+        sim.spawn(ping())
+        sim.run()
+        return sim.events_executed
+
+    executed = benchmark(run_events)
+    assert executed >= 10_000
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_virtqueue_add_get_throughput(benchmark):
+    """Driver-side ring bookkeeping (add_buffer + simulated used)."""
+    mem = PhysicalMemory()
+    alloc = DmaAllocator(mem)
+    _, _, _, total = ring_layout(256)
+    vq = DriverVirtqueue(0, 256, alloc.alloc(total, 4096))
+    state = {"used_idx": 0}
+
+    def cycle():
+        head = vq.add_buffer([(0x10000, 1500)], [])
+        vq.publish()
+        elem = head.to_bytes(4, "little") + bytes(4)
+        mem.write(vq.addresses.used_entry_addr(state["used_idx"]), elem)
+        state["used_idx"] = (state["used_idx"] + 1) & 0xFFFF
+        mem.write(vq.addresses.used_idx_addr, state["used_idx"].to_bytes(2, "little"))
+        assert vq.get_used() is not None
+
+    benchmark(cycle)
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_virtio_echo_round_trip_cost(benchmark):
+    """Wall-clock cost of simulating one VirtIO echo round trip."""
+    testbed = build_virtio_testbed(seed=0)
+    socket = testbed.socket
+    payload = b"x" * 64
+
+    def round_trip():
+        def app():
+            yield from socket.sendto(payload, FPGA_IP, TEST_DST_PORT)
+            yield from socket.recvfrom()
+
+        process = testbed.sim.spawn(app())
+        testbed.sim.run_until_triggered(process)
+        testbed.sim.run()
+
+    benchmark(round_trip)
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_xdma_round_trip_cost(benchmark):
+    """Wall-clock cost of simulating one XDMA write+read round trip."""
+    testbed = build_xdma_testbed(seed=0)
+    payload = b"x" * 118
+
+    def round_trip():
+        def app():
+            yield from sys_write(testbed.kernel, testbed.driver, payload)
+            yield from sys_read(testbed.kernel, testbed.driver, len(payload))
+
+        process = testbed.sim.spawn(app())
+        testbed.sim.run_until_triggered(process)
+        testbed.sim.run()
+
+    benchmark(round_trip)
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_testbed_boot_cost(benchmark):
+    """Wall-clock cost of a full boot (enumeration + probe + RX fill)."""
+    counter = {"seed": 0}
+
+    def boot():
+        counter["seed"] += 1
+        return build_virtio_testbed(seed=counter["seed"])
+
+    testbed = benchmark(boot)
+    assert testbed.device.driver_ok

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Multiple VirtIO device types on the same controller.
+
+The paper's Section III-A: "The fundamentals of the VirtIO interface on
+the FPGA do not change based on the type of device implemented. Only
+the minimum number of queues and the device-specific configuration
+structure change across device types."
+
+This example boots the *same* VirtIO controller with three different
+personalities -- network, console, block -- each driven by its standard
+in-kernel front-end, and exercises each device's native semantics:
+
+* net: UDP echo through the host socket API,
+* console: character echo through read/write,
+* block: sector writes/reads against the FPGA-DRAM ramdisk.
+
+Run:
+    python examples/device_types.py
+"""
+
+from repro.core import FPGA_IP, TEST_DST_PORT, build_virtio_testbed
+from repro.core.testbed import build_block_testbed, build_console_testbed
+from repro.sim.time import to_us
+
+
+def demo_network() -> None:
+    print("== virtio-net: the FPGA as a NIC ==")
+    testbed = build_virtio_testbed(seed=1)
+    socket = testbed.socket
+
+    def app():
+        t0 = testbed.kernel.gettime_ns()
+        yield from socket.sendto(b"network device demo", FPGA_IP, TEST_DST_PORT)
+        data, source = yield from socket.recvfrom()
+        t1 = testbed.kernel.gettime_ns()
+        return data, source, (t1 - t0) / 1000
+
+    process = testbed.sim.spawn(app())
+    data, source, rtt = testbed.sim.run_until_triggered(process)
+    print(f"  UDP echo from {source[0]:#010x}:{source[1]}: {data!r} ({rtt:.1f} us)\n")
+
+
+def demo_console() -> None:
+    print("== virtio-console: the device type of the prior work [14] ==")
+    testbed = build_console_testbed(seed=2)
+    print(f"  geometry from device config: {testbed.driver.cols}x{testbed.driver.rows}")
+
+    def app():
+        lines = []
+        for message in (b"hello, hvc0\n", b"second line\n"):
+            yield from testbed.driver.write(message)
+            lines.append((yield from testbed.driver.read()))
+        return lines
+
+    process = testbed.sim.spawn(app())
+    for line in testbed.sim.run_until_triggered(process):
+        print(f"  echoed: {line!r}")
+
+    # Device-originated output (e.g. a hardware log line).
+    testbed.device.personality.send_to_host(b"[fpga] link up\n")
+
+    def reader():
+        data = yield from testbed.driver.read()
+        return data
+
+    process = testbed.sim.spawn(reader())
+    print(f"  device pushed: {testbed.sim.run_until_triggered(process)!r}\n")
+
+
+def demo_block() -> None:
+    print("== virtio-blk: a storage accelerator personality ==")
+    testbed = build_block_testbed(seed=3, capacity_sectors=4096)
+    driver = testbed.driver
+    print(f"  capacity: {driver.capacity_sectors} sectors of {driver.blk_size} B")
+
+    def app():
+        t0 = testbed.sim.now
+        payload = bytes(range(256)) * 8  # 4 sectors
+        yield from driver.write_sectors(0, payload)
+        t_write = testbed.sim.now
+        data = yield from driver.read_sectors(0, 4)
+        t_read = testbed.sim.now
+        yield from driver.flush()
+        assert data == payload, "ramdisk round trip mismatch"
+        return to_us(t_write - t0), to_us(t_read - t_write)
+
+    process = testbed.sim.spawn(app())
+    write_us, read_us = testbed.sim.run_until_triggered(process)
+    print(f"  4-sector write: {write_us:.1f} us, read-back: {read_us:.1f} us")
+    personality = testbed.device.personality
+    print(f"  media ops: reads={personality.reads} writes={personality.writes} "
+          f"flushes={personality.flushes}\n")
+
+
+def main() -> None:
+    demo_network()
+    demo_console()
+    demo_block()
+    print("All three device types ran on the same controller; only the")
+    print("personality (device config + queue roles) differed.")
+
+
+if __name__ == "__main__":
+    main()

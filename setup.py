@@ -1,0 +1,11 @@
+"""Setup shim.
+
+All metadata lives in pyproject.toml.  This file exists so that editable
+installs work in offline environments whose setuptools lacks the
+``wheel`` package required by the PEP-517 editable path
+(``pip install -e . --no-use-pep517`` falls back to legacy develop mode).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,42 @@
+"""virtio-fpga-repro: reproduction of *Performance Evaluation of VirtIO
+Device Drivers for Host-FPGA PCIe Communication* (IPDPSW 2024).
+
+The package builds a deterministic transaction-level simulation of the
+complete host-FPGA PCIe stack described in the paper:
+
+``repro.sim``
+    Discrete-event simulation kernel (picosecond time, generator
+    processes, seeded random streams).
+``repro.mem``
+    Host physical memory, FPGA BRAM/DRAM, MMIO regions, struct codecs.
+``repro.pcie``
+    Transaction-level PCIe: TLPs, link timing, config space, root complex.
+``repro.fpga``
+    FPGA-side substrate: clocking, the XDMA DMA/Bridge IP model,
+    hardware performance counters, user logic.
+``repro.virtio``
+    VirtIO 1.2 split virtqueues, feature negotiation, the virtio-pci
+    transport structures, and the FPGA-side VirtIO controller (the
+    paper's core contribution) with net/console/block personalities.
+``repro.host``
+    Host OS model: syscalls, interrupts, scheduler noise, sockets and a
+    full UDP/IPv4/Ethernet/ARP network stack.
+``repro.drivers``
+    In-kernel driver models: the XDMA character-device reference driver
+    and the virtio-pci/net/console/blk front-end drivers.
+``repro.core``
+    Experiment layer reproducing Fig. 3-5 and Table I plus ablations.
+``repro.stats``
+    Vectorized latency statistics (percentiles, summaries, histograms).
+
+Quickstart::
+
+    from repro.core import build_virtio_testbed, run_latency_sweep
+    tb = build_virtio_testbed(seed=7)
+    result = run_latency_sweep(tb, payload_sizes=[64, 256], packets=2000)
+    print(result.summary_table())
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,105 @@
+"""Command-line interface.
+
+``virtio-fpga-repro <artifact>`` regenerates a paper artifact on the
+simulation substrate::
+
+    virtio-fpga-repro fig3 --packets 5000
+    virtio-fpga-repro table1 --packets 50000 --seed 3
+    virtio-fpga-repro claims
+    virtio-fpga-repro all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.core.calibration import PAPER_PAYLOAD_SIZES
+from repro.core.experiments import (
+    default_packets,
+    figure3,
+    figure4,
+    figure5,
+    render_claims,
+    run_comparison,
+    table1,
+    verify_paper_claims,
+)
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="virtio-fpga-repro",
+        description=(
+            "Reproduce the artifacts of 'Performance Evaluation of VirtIO Device "
+            "Drivers for Host-FPGA PCIe Communication' (IPDPSW 2024) on a "
+            "transaction-level simulation substrate."
+        ),
+    )
+    parser.add_argument(
+        "artifact",
+        choices=["fig3", "fig4", "fig5", "table1", "claims", "all"],
+        help="which paper artifact to regenerate",
+    )
+    parser.add_argument(
+        "--packets",
+        type=int,
+        default=None,
+        help="packets per payload size (default: REPRO_PACKETS env or 2000; "
+        "the paper used 50000)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="simulation seed")
+    parser.add_argument(
+        "--payloads",
+        type=int,
+        nargs="+",
+        default=list(PAPER_PAYLOAD_SIZES),
+        help="payload sizes in bytes (default: the paper's sweep)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _parser().parse_args(argv)
+    packets = args.packets if args.packets is not None else default_packets()
+    started = time.time()
+    kwargs = dict(payload_sizes=args.payloads, packets=packets, seed=args.seed)
+
+    if args.artifact == "fig3":
+        _, text = figure3(**kwargs)
+        print(text)
+    elif args.artifact == "fig4":
+        _, text = figure4(**kwargs)
+        print(text)
+    elif args.artifact == "fig5":
+        _, text = figure5(**kwargs)
+        print(text)
+    elif args.artifact == "table1":
+        _, text = table1(**kwargs)
+        print(text)
+    elif args.artifact == "claims":
+        comparison = run_comparison(**kwargs)
+        print(render_claims(verify_paper_claims(comparison)))
+    elif args.artifact == "all":
+        comparison, text = table1(**kwargs)
+        print(text)
+        print()
+        from repro.core.results import render_breakdown
+
+        print(render_breakdown(comparison.virtio, "Figure 4: VirtIO breakdown"))
+        print()
+        print(render_breakdown(comparison.xdma, "Figure 5: XDMA breakdown"))
+        print()
+        print(render_claims(verify_paper_claims(comparison)))
+    print(
+        f"\n[{args.artifact}: {packets} packets/size x {len(args.payloads)} sizes, "
+        f"seed {args.seed}, {time.time() - started:.1f}s]",
+        file=sys.stderr,
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,290 @@
+"""Reproduction entry points: one function per paper artifact.
+
+Each function builds the testbed(s), runs the sweep, and returns both
+the raw results and a rendered text artifact.  The benchmark harness
+and the CLI are thin wrappers over these.
+
+Packet counts default to a CI-friendly value; pass
+``packets=PAPER_PACKETS_PER_SIZE`` (50 000) for full-fidelity runs.
+The ``REPRO_PACKETS`` environment variable overrides the default.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence, Tuple
+
+from repro.core.calibration import (
+    PAPER_PAYLOAD_SIZES,
+    PAPER_PROFILE,
+    CalibrationProfile,
+)
+from repro.core.latency import run_latency_sweep
+from repro.core.results import (
+    ComparisonResult,
+    SweepResult,
+    breakdown_rows,
+    render_breakdown,
+)
+from repro.core.testbed import build_virtio_testbed, build_xdma_testbed
+
+
+def default_packets(fallback: int = 2000) -> int:
+    """Packets per payload size (env-overridable)."""
+    value = os.environ.get("REPRO_PACKETS", "")
+    if value:
+        packets = int(value)
+        if packets <= 0:
+            raise ValueError(f"REPRO_PACKETS must be positive, got {packets}")
+        return packets
+    return fallback
+
+
+def run_virtio_sweep(
+    payload_sizes: Sequence[int] = PAPER_PAYLOAD_SIZES,
+    packets: Optional[int] = None,
+    seed: int = 0,
+    profile: CalibrationProfile = PAPER_PROFILE,
+) -> SweepResult:
+    """The VirtIO side of the evaluation."""
+    testbed = build_virtio_testbed(seed=seed, profile=profile)
+    return run_latency_sweep(testbed, payload_sizes, packets or default_packets())
+
+
+def run_xdma_sweep(
+    payload_sizes: Sequence[int] = PAPER_PAYLOAD_SIZES,
+    packets: Optional[int] = None,
+    seed: int = 0,
+    profile: CalibrationProfile = PAPER_PROFILE,
+) -> SweepResult:
+    """The XDMA side of the evaluation."""
+    testbed = build_xdma_testbed(seed=seed, profile=profile)
+    return run_latency_sweep(testbed, payload_sizes, packets or default_packets())
+
+
+def run_comparison(
+    payload_sizes: Sequence[int] = PAPER_PAYLOAD_SIZES,
+    packets: Optional[int] = None,
+    seed: int = 0,
+    profile: CalibrationProfile = PAPER_PROFILE,
+) -> ComparisonResult:
+    """Both sweeps with matched parameters."""
+    return ComparisonResult(
+        virtio=run_virtio_sweep(payload_sizes, packets, seed, profile),
+        xdma=run_xdma_sweep(payload_sizes, packets, seed, profile),
+    )
+
+
+# -- Figure 3: round-trip latency distributions ------------------------------------
+
+
+def figure3(
+    payload_sizes: Sequence[int] = PAPER_PAYLOAD_SIZES,
+    packets: Optional[int] = None,
+    seed: int = 0,
+    profile: CalibrationProfile = PAPER_PROFILE,
+) -> Tuple[ComparisonResult, str]:
+    """Fig. 3: latency distributions for both drivers, all payloads."""
+    comparison = run_comparison(payload_sizes, packets, seed, profile)
+    blocks = ["Figure 3: round-trip latency distributions (us)"]
+    for payload in comparison.payload_sizes():
+        for name, sweep in (("VirtIO", comparison.virtio), ("XDMA", comparison.xdma)):
+            result = sweep[payload]
+            summary = result.rtt_summary()
+            blocks.append(
+                f"\n-- {name}, payload {payload} B "
+                f"(mean {summary.mean_us:.1f}, sd {summary.std_us:.1f}) --"
+            )
+            blocks.append(result.histogram(bins=30).render(width=40))
+    return comparison, "\n".join(blocks)
+
+
+# -- Figures 4 and 5: latency breakdowns --------------------------------------------
+
+
+def figure4(
+    payload_sizes: Sequence[int] = PAPER_PAYLOAD_SIZES,
+    packets: Optional[int] = None,
+    seed: int = 0,
+    profile: CalibrationProfile = PAPER_PROFILE,
+) -> Tuple[SweepResult, str]:
+    """Fig. 4: VirtIO hardware/software breakdown."""
+    sweep = run_virtio_sweep(payload_sizes, packets, seed, profile)
+    return sweep, render_breakdown(
+        sweep, "Figure 4: VirtIO data-movement latency breakdown"
+    )
+
+
+def figure5(
+    payload_sizes: Sequence[int] = PAPER_PAYLOAD_SIZES,
+    packets: Optional[int] = None,
+    seed: int = 0,
+    profile: CalibrationProfile = PAPER_PROFILE,
+) -> Tuple[SweepResult, str]:
+    """Fig. 5: XDMA hardware/software breakdown."""
+    sweep = run_xdma_sweep(payload_sizes, packets, seed, profile)
+    return sweep, render_breakdown(
+        sweep, "Figure 5: XDMA data-movement latency breakdown"
+    )
+
+
+# -- Table I: tail latencies ------------------------------------------------------------
+
+
+def table1(
+    payload_sizes: Sequence[int] = PAPER_PAYLOAD_SIZES,
+    packets: Optional[int] = None,
+    seed: int = 0,
+    profile: CalibrationProfile = PAPER_PROFILE,
+) -> Tuple[ComparisonResult, str]:
+    """Table I: 95/99/99.9% tail latencies for both drivers."""
+    comparison = run_comparison(payload_sizes, packets, seed, profile)
+    return comparison, "Table I: tail latencies\n" + comparison.table1()
+
+
+# -- Section V claims -----------------------------------------------------------------------
+
+
+@dataclass
+class ClaimCheck:
+    """One verifiable claim from the paper's evaluation section."""
+
+    claim: str
+    holds: bool
+    evidence: str
+
+
+def verify_paper_claims(comparison: ComparisonResult) -> list[ClaimCheck]:
+    """Check the paper's qualitative claims against a comparison run.
+
+    These are the statements the reproduction is accountable for --
+    who wins, variance ordering, breakdown structure, tail convergence
+    -- rather than absolute microsecond values.
+    """
+    checks: list[ClaimCheck] = []
+    payloads = comparison.payload_sizes()
+
+    # Claim 1: VirtIO comparable or better at p95/p99 (Section V,
+    # Table I: "VirtIO shows lower tail latencies at 95 and 99
+    # percentiles").
+    p95_ok, p99_ok, evid95, evid99 = True, True, [], []
+    for payload in payloads:
+        v = comparison.virtio[payload].tail_latencies_us()
+        x = comparison.xdma[payload].tail_latencies_us()
+        p95_ok &= v[95.0] <= x[95.0]
+        p99_ok &= v[99.0] <= x[99.0]
+        evid95.append(f"{payload}B: {v[95.0]:.1f} vs {x[95.0]:.1f}")
+        evid99.append(f"{payload}B: {v[99.0]:.1f} vs {x[99.0]:.1f}")
+    checks.append(
+        ClaimCheck("VirtIO p95 <= XDMA p95 at every payload", p95_ok, "; ".join(evid95))
+    )
+    checks.append(
+        ClaimCheck("VirtIO p99 <= XDMA p99 at every payload", p99_ok, "; ".join(evid99))
+    )
+
+    # Claim 2: VirtIO has lower variance ("the VirtIO results show much
+    # lower variance").  Measured as the p90-p10 spread of the
+    # distribution: that is what Fig. 3's distributions show, and unlike
+    # the sample standard deviation it is not dominated by a handful of
+    # rare preemption stalls in finite runs.
+    import numpy as np
+
+    var_ok, evid = True, []
+    for payload in payloads:
+        v = comparison.virtio[payload].adjusted_rtt_ps
+        x = comparison.xdma[payload].adjusted_rtt_ps
+        v_spread = float(np.percentile(v, 90) - np.percentile(v, 10)) / 1e6
+        x_spread = float(np.percentile(x, 90) - np.percentile(x, 10)) / 1e6
+        var_ok &= v_spread < x_spread
+        evid.append(f"{payload}B: p90-p10 {v_spread:.1f} vs {x_spread:.1f}")
+    checks.append(
+        ClaimCheck("VirtIO dispersion (p90-p10) < XDMA dispersion", var_ok, "; ".join(evid))
+    )
+
+    # Claim 3: tail gap shrinks at p99.9 ("there isn't a significant
+    # difference when we approach 99.9% tail latency").  p99.9 of a
+    # finite run is dominated by a handful of samples, so the check
+    # aggregates across payload sizes rather than requiring monotone
+    # convergence at every single size (the paper's own Table I is not
+    # monotone either: at 256 B its XDMA p99.9 is *below* VirtIO's).
+    gaps95, gaps999, evid = [], [], []
+    for payload in payloads:
+        v = comparison.virtio[payload].tail_latencies_us()
+        x = comparison.xdma[payload].tail_latencies_us()
+        gap95 = (x[95.0] - v[95.0]) / v[95.0]
+        gap999 = (x[99.9] - v[99.9]) / v[99.9]
+        gaps95.append(gap95)
+        gaps999.append(gap999)
+        evid.append(f"{payload}B: gap p95 {gap95:+.0%} -> p99.9 {gap999:+.0%}")
+    mean_gap95 = sum(gaps95) / len(gaps95)
+    mean_gap999 = sum(gaps999) / len(gaps999)
+    checks.append(
+        ClaimCheck(
+            "relative VirtIO advantage shrinks from p95 to p99.9 (mean over payloads)",
+            mean_gap999 < mean_gap95,
+            f"mean gap p95 {mean_gap95:+.0%} -> p99.9 {mean_gap999:+.0%}; " + "; ".join(evid),
+        )
+    )
+
+    # Claim 4: VirtIO hardware time exceeds software time; XDMA the
+    # reverse ("the time taken by the hardware is higher than the time
+    # for software with the VirtIO driver and vice versa").
+    v_rows = breakdown_rows(comparison.virtio)
+    x_rows = breakdown_rows(comparison.xdma)
+    v_ok = all(r.hw_mean_us > r.sw_mean_us for r in v_rows)
+    x_ok = all(r.sw_mean_us > r.hw_mean_us for r in x_rows)
+    checks.append(
+        ClaimCheck(
+            "VirtIO: hardware share > software share",
+            v_ok,
+            "; ".join(f"{r.payload}B: hw {r.hw_mean_us:.1f} sw {r.sw_mean_us:.1f}"
+                      for r in v_rows),
+        )
+    )
+    checks.append(
+        ClaimCheck(
+            "XDMA: software share > hardware share",
+            x_ok,
+            "; ".join(f"{r.payload}B: hw {r.hw_mean_us:.1f} sw {r.sw_mean_us:.1f}"
+                      for r in x_rows),
+        )
+    )
+
+    # Claim 5: VirtIO software share roughly constant across payloads
+    # ("the average latency for the software stack remains virtually
+    # constant throughout the range of payloads considered").
+    sw_means = [r.sw_mean_us for r in v_rows]
+    spread = (max(sw_means) - min(sw_means)) / min(sw_means)
+    checks.append(
+        ClaimCheck(
+            "VirtIO software share constant across payloads (<15% spread)",
+            spread < 0.15,
+            f"sw means: {', '.join(f'{m:.1f}' for m in sw_means)} (spread {spread:.0%})",
+        )
+    )
+
+    # Claim 6: hardware variance is minimal compared to software
+    # variance ("the time taken by the hardware to perform the DMA
+    # operations has minimal variance").
+    hw_ok, evid = True, []
+    for payload in payloads:
+        result = comparison.virtio[payload]
+        hw_sd = result.hw_summary().std_us
+        sw_sd = result.sw_summary().std_us
+        hw_ok &= hw_sd < sw_sd
+        evid.append(f"{payload}B: hw sd {hw_sd:.2f} vs sw sd {sw_sd:.2f}")
+    checks.append(
+        ClaimCheck("VirtIO hardware variance < software variance", hw_ok, "; ".join(evid))
+    )
+
+    return checks
+
+
+def render_claims(checks: Iterable[ClaimCheck]) -> str:
+    lines = ["Section V claims:"]
+    for check in checks:
+        status = "PASS" if check.holds else "FAIL"
+        lines.append(f"[{status}] {check.claim}")
+        lines.append(f"       {check.evidence}")
+    return "\n".join(lines)

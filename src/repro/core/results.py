@@ -1,0 +1,182 @@
+"""Result containers for the latency experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.stats.histogram import Histogram
+from repro.stats.percentile import percentiles_us
+from repro.stats.summary import LatencySummary
+
+
+@dataclass
+class PayloadResult:
+    """All series measured for one payload size with one driver.
+
+    Arrays are per-packet, int64 picoseconds:
+
+    * ``rtt_ps`` -- the application's ``clock_gettime`` round trip,
+    * ``hw_ps`` -- FPGA hardware time from the performance counters
+      (8 ns resolution), i.e. DMA work per round trip,
+    * ``resp_ps`` -- response-generation time (VirtIO only; the paper
+      deducts it, Section IV-B).
+
+    The software component is derived: ``rtt - hw - resp``.
+    """
+
+    payload: int
+    rtt_ps: np.ndarray
+    hw_ps: np.ndarray
+    resp_ps: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = len(self.rtt_ps)
+        if len(self.hw_ps) != n or len(self.resp_ps) != n:
+            raise ValueError(
+                f"series length mismatch: rtt={n} hw={len(self.hw_ps)} resp={len(self.resp_ps)}"
+            )
+
+    @property
+    def packets(self) -> int:
+        return int(len(self.rtt_ps))
+
+    @property
+    def sw_ps(self) -> np.ndarray:
+        """Software-stack latency per packet (never negative)."""
+        return np.maximum(self.rtt_ps - self.hw_ps - self.resp_ps, 0)
+
+    @property
+    def adjusted_rtt_ps(self) -> np.ndarray:
+        """Round trip with response generation deducted (the series the
+        paper's Fig. 3/Table I report for VirtIO)."""
+        return self.rtt_ps - self.resp_ps
+
+    def rtt_summary(self) -> LatencySummary:
+        return LatencySummary.from_ps(self.adjusted_rtt_ps)
+
+    def hw_summary(self) -> LatencySummary:
+        return LatencySummary.from_ps(self.hw_ps)
+
+    def sw_summary(self) -> LatencySummary:
+        return LatencySummary.from_ps(self.sw_ps)
+
+    def tail_latencies_us(self) -> Dict[float, float]:
+        return percentiles_us(self.adjusted_rtt_ps)
+
+    def histogram(self, bins: int = 60) -> Histogram:
+        return Histogram.from_ps(self.adjusted_rtt_ps, bins=bins)
+
+
+@dataclass
+class SweepResult:
+    """One driver's full payload sweep."""
+
+    driver: str
+    payloads: Dict[int, PayloadResult] = field(default_factory=dict)
+    seed: int = 0
+
+    def add(self, result: PayloadResult) -> None:
+        self.payloads[result.payload] = result
+
+    def payload_sizes(self) -> List[int]:
+        return sorted(self.payloads)
+
+    def __getitem__(self, payload: int) -> PayloadResult:
+        return self.payloads[payload]
+
+    def summary_table(self) -> str:
+        """Human-readable per-payload summary."""
+        rows = [
+            f"{'payload':>8} {'mean':>8} {'sd':>7} {'p95':>8} {'p99':>8} "
+            f"{'p99.9':>8} {'hw-mean':>8} {'sw-mean':>8}   (us, driver={self.driver})"
+        ]
+        for payload in self.payload_sizes():
+            r = self.payloads[payload]
+            s = r.rtt_summary()
+            rows.append(
+                f"{payload:>8} {s.mean_us:>8.1f} {s.std_us:>7.1f} {s.p95_us:>8.1f} "
+                f"{s.p99_us:>8.1f} {s.p999_us:>8.1f} "
+                f"{r.hw_summary().mean_us:>8.1f} {r.sw_summary().mean_us:>8.1f}"
+            )
+        return "\n".join(rows)
+
+
+@dataclass
+class ComparisonResult:
+    """Both drivers' sweeps over the same payload set (Fig. 3 input)."""
+
+    virtio: SweepResult
+    xdma: SweepResult
+
+    def payload_sizes(self) -> List[int]:
+        shared = set(self.virtio.payloads) & set(self.xdma.payloads)
+        return sorted(shared)
+
+    def table1(self) -> str:
+        """Render the Table I layout: tail latencies per payload."""
+        rows = [
+            f"{'Payload':>8} | {'95% (us)':>17} | {'99% (us)':>17} | {'99.9% (us)':>17}",
+            f"{'(Bytes)':>8} | {'VirtIO':>8} {'XDMA':>8} | {'VirtIO':>8} {'XDMA':>8} "
+            f"| {'VirtIO':>8} {'XDMA':>8}",
+        ]
+        for payload in self.payload_sizes():
+            v = self.virtio[payload].tail_latencies_us()
+            x = self.xdma[payload].tail_latencies_us()
+            rows.append(
+                f"{payload:>8} | {v[95.0]:>8.1f} {x[95.0]:>8.1f} "
+                f"| {v[99.0]:>8.1f} {x[99.0]:>8.1f} "
+                f"| {v[99.9]:>8.1f} {x[99.9]:>8.1f}"
+            )
+        return "\n".join(rows)
+
+
+@dataclass
+class BreakdownRow:
+    """One bar group of Fig. 4 / Fig. 5: the hw/sw split at a payload."""
+
+    payload: int
+    hw_mean_us: float
+    hw_std_us: float
+    sw_mean_us: float
+    sw_std_us: float
+
+    @property
+    def total_mean_us(self) -> float:
+        return self.hw_mean_us + self.sw_mean_us
+
+
+def breakdown_rows(sweep: SweepResult) -> List[BreakdownRow]:
+    """Derive the Fig. 4/5 breakdown from a sweep."""
+    rows = []
+    for payload in sweep.payload_sizes():
+        result = sweep[payload]
+        hw = result.hw_summary()
+        sw = result.sw_summary()
+        rows.append(
+            BreakdownRow(
+                payload=payload,
+                hw_mean_us=hw.mean_us,
+                hw_std_us=hw.std_us,
+                sw_mean_us=sw.mean_us,
+                sw_std_us=sw.std_us,
+            )
+        )
+    return rows
+
+
+def render_breakdown(sweep: SweepResult, title: str) -> str:
+    """Text rendering of a Fig. 4/5-style breakdown."""
+    rows = [title]
+    rows.append(
+        f"{'payload':>8} {'hw mean':>9} {'hw sd':>8} {'sw mean':>9} {'sw sd':>8} "
+        f"{'total':>9}  (us)"
+    )
+    for row in breakdown_rows(sweep):
+        rows.append(
+            f"{row.payload:>8} {row.hw_mean_us:>9.1f} {row.hw_std_us:>8.2f} "
+            f"{row.sw_mean_us:>9.1f} {row.sw_std_us:>8.2f} {row.total_mean_us:>9.1f}"
+        )
+    return "\n".join(rows)

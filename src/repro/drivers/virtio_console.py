@@ -1,0 +1,134 @@
+"""virtio-console front-end driver.
+
+Exposes the console device [14] implemented on the FPGA as a simple
+read/write port: writes go out on the transmitq, receive buffers are
+kept posted on the receiveq and completed data is queued for readers.
+Demonstrates the paper's point that switching device semantics requires
+only a different *standard* front-end, not a new custom driver.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Deque, Dict, Generator, Optional
+
+from repro.drivers.virtio_pci import VirtioPciTransport
+from repro.host.kernel import HostKernel
+from repro.mem.dma import DmaBuffer
+from repro.sim.event import Event
+from repro.virtio.constants import VIRTIO_CONSOLE_F_SIZE, VIRTIO_F_VERSION_1
+from repro.virtio.features import FeatureSet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.pcie.enumeration import DiscoveredFunction
+
+RECEIVEQ = 0
+TRANSMITQ = 1
+
+RX_POOL_SIZE = 16
+RX_BUFFER_SIZE = 1024
+TX_POOL_SIZE = 16
+TX_BUFFER_SIZE = 1024
+
+DRIVER_SUPPORTED = FeatureSet.of(VIRTIO_F_VERSION_1, VIRTIO_CONSOLE_F_SIZE)
+
+
+class VirtioConsoleDriver:
+    """Bound driver for one virtio-console function."""
+
+    def __init__(self, kernel: HostKernel, function: "DiscoveredFunction",
+                 name: str = "hvc0") -> None:
+        self.kernel = kernel
+        self.transport = VirtioPciTransport(kernel, function, name=name)
+        self.name = name
+        self.cols = 0
+        self.rows = 0
+        self._rx_buffers: Dict[int, DmaBuffer] = {}
+        self._tx_buffers: list[DmaBuffer] = []
+        self._tx_slot = 0
+        self._rx_data: Deque[bytes] = deque()
+        self._rx_waiter: Optional[Event] = None
+
+    def probe(self) -> Generator[Any, Any, None]:
+        transport = self.transport
+        yield from transport.discover()
+        yield from transport.initialize(DRIVER_SUPPORTED)
+        if transport.accepted_features.has(VIRTIO_CONSOLE_F_SIZE):
+            raw = yield from transport.device_config_read(0, 4)
+            self.cols = int.from_bytes(raw[0:2], "little")
+            self.rows = int.from_bytes(raw[2:4], "little")
+        self.kernel.irqc.register(transport.queue_vector(RECEIVEQ), self._rx_interrupt)
+        self.kernel.irqc.register(transport.queue_vector(TRANSMITQ), self._tx_interrupt)
+        for _ in range(TX_POOL_SIZE):
+            self._tx_buffers.append(self.kernel.alloc_dma(TX_BUFFER_SIZE))
+        rx_vq = transport.queue(RECEIVEQ)
+        for _ in range(RX_POOL_SIZE):
+            buffer = self.kernel.alloc_dma(RX_BUFFER_SIZE)
+            head = rx_vq.add_buffer([], [(buffer.addr, RX_BUFFER_SIZE)])
+            self._rx_buffers[head] = buffer
+        rx_vq.publish()
+        yield from transport.notify(RECEIVEQ)
+        transport.queue(TRANSMITQ).set_avail_no_interrupt(True)
+
+    # -- interrupts -------------------------------------------------------------------
+
+    def _rx_interrupt(self) -> Generator[Any, Any, None]:
+        kernel = self.kernel
+        yield kernel.cpu("driver_irq_ack")
+        vq = self.transport.queue(RECEIVEQ)
+        reposted = False
+        while True:
+            elem = vq.get_used()
+            if elem is None:
+                break
+            yield kernel.cpu("virtio_get_buf")
+            buffer = self._rx_buffers.pop(elem.head)
+            self._rx_data.append(buffer.read(0, elem.written))
+            head = vq.add_buffer([], [(buffer.addr, RX_BUFFER_SIZE)])
+            self._rx_buffers[head] = buffer
+            reposted = True
+        if reposted:
+            vq.publish()
+            yield from self.transport.notify(RECEIVEQ)
+        if self._rx_data and self._rx_waiter is not None:
+            waiter, self._rx_waiter = self._rx_waiter, None
+            waiter.trigger(None)
+
+    def _tx_interrupt(self) -> Generator[Any, Any, None]:
+        yield self.kernel.cpu("driver_irq_ack")
+
+    # -- application API ----------------------------------------------------------------
+
+    def write(self, data: bytes) -> Generator[Any, Any, int]:
+        """Send bytes to the device (one transmitq chain + doorbell)."""
+        if not data or len(data) > TX_BUFFER_SIZE:
+            raise ValueError(f"write of {len(data)}B outside (0, {TX_BUFFER_SIZE}]")
+        kernel = self.kernel
+        yield kernel.cpu("syscall_entry")
+        vq = self.transport.queue(TRANSMITQ)
+        while vq.has_used():
+            vq.get_used()
+            yield kernel.cpu("virtio_get_buf")
+        buffer = self._tx_buffers[self._tx_slot]
+        self._tx_slot = (self._tx_slot + 1) % TX_POOL_SIZE
+        buffer.write(data)
+        yield kernel.cpu("virtio_add_buf")
+        vq.add_buffer([(buffer.addr, len(data))], [])
+        vq.publish()
+        yield from self.transport.notify(TRANSMITQ)
+        yield kernel.cpu("syscall_exit")
+        return len(data)
+
+    def read(self) -> Generator[Any, Any, bytes]:
+        """Blocking read of the next received chunk."""
+        kernel = self.kernel
+        yield kernel.cpu("syscall_entry")
+        while not self._rx_data:
+            if self._rx_waiter is not None:
+                raise RuntimeError("concurrent console reads not supported")
+            self._rx_waiter = Event(name=f"{self.name}.read")
+            yield from kernel.block_on(self._rx_waiter)
+        data = self._rx_data.popleft()
+        yield kernel.copy(len(data))
+        yield kernel.cpu("syscall_exit")
+        return data

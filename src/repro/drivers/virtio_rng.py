@@ -1,0 +1,75 @@
+"""virtio-rng front-end driver (hwrng backend).
+
+Posts device-writable buffers on the requestq and returns the entropy
+the device fills in -- the Linux ``virtio-rng.c`` flow reduced to its
+synchronous core.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Generator
+
+from repro.drivers.virtio_pci import VirtioPciTransport
+from repro.host.kernel import HostKernel
+from repro.mem.dma import DmaBuffer
+from repro.sim.event import Event
+from repro.virtio.constants import VIRTIO_F_VERSION_1
+from repro.virtio.features import FeatureSet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.pcie.enumeration import DiscoveredFunction
+
+REQUESTQ = 0
+MAX_READ = 1024
+
+DRIVER_SUPPORTED = FeatureSet.of(VIRTIO_F_VERSION_1)
+
+
+class VirtioRngDriver:
+    """Bound driver for one virtio-rng function."""
+
+    def __init__(self, kernel: HostKernel, function: "DiscoveredFunction",
+                 name: str = "hwrng") -> None:
+        self.kernel = kernel
+        self.transport = VirtioPciTransport(kernel, function, name=name)
+        self.name = name
+        self._buffer: DmaBuffer | None = None
+        self._pending: Dict[int, Event] = {}
+        self.bytes_read = 0
+
+    def probe(self) -> Generator[Any, Any, None]:
+        transport = self.transport
+        yield from transport.discover()
+        yield from transport.initialize(DRIVER_SUPPORTED)
+        self.kernel.irqc.register(transport.queue_vector(REQUESTQ), self._interrupt)
+        self._buffer = self.kernel.alloc_dma(MAX_READ)
+
+    def _interrupt(self) -> Generator[Any, Any, None]:
+        yield self.kernel.cpu("driver_irq_ack")
+        vq = self.transport.queue(REQUESTQ)
+        while True:
+            elem = vq.get_used()
+            if elem is None:
+                break
+            yield self.kernel.cpu("virtio_get_buf")
+            done = self._pending.pop(elem.head, None)
+            if done is not None:
+                done.trigger(elem.written)
+
+    def read_entropy(self, length: int) -> Generator[Any, Any, bytes]:
+        """Blocking read of *length* bytes of device entropy."""
+        if not 0 < length <= MAX_READ:
+            raise ValueError(f"length must be in (0, {MAX_READ}], got {length}")
+        kernel = self.kernel
+        assert self._buffer is not None
+        yield kernel.cpu("virtio_add_buf")
+        vq = self.transport.queue(REQUESTQ)
+        head = vq.add_buffer([], [(self._buffer.addr, length)])
+        done = Event(name=f"{self.name}.entropy")
+        self._pending[head] = done
+        vq.publish()
+        yield from self.transport.notify(REQUESTQ)
+        written = yield from kernel.block_on(done)
+        yield kernel.copy(written)
+        self.bytes_read += written
+        return self._buffer.read(0, written)

@@ -1,0 +1,12 @@
+"""FPGA-side substrate: registers, performance counters, the XDMA IP
+model, and user-logic building blocks."""
+
+from repro.fpga.perf_counter import CounterError, PerfCounterBank
+from repro.fpga.registers import Register, RegisterFile
+
+__all__ = [
+    "CounterError",
+    "PerfCounterBank",
+    "Register",
+    "RegisterFile",
+]

@@ -1,0 +1,51 @@
+"""Model of the Xilinx DMA/Bridge Subsystem for PCI Express (XDMA).
+
+The PCIe IP used by both FPGA designs in the paper (Section III-B).
+See :mod:`repro.fpga.xdma.core` for the top level.
+"""
+
+from repro.fpga.xdma.core import (
+    AXI_BRAM_BASE,
+    NUM_USER_IRQS,
+    XDMA_DEVICE_ID,
+    XILINX_VENDOR_ID,
+    AxiWindow,
+    XdmaCore,
+)
+from repro.fpga.xdma.descriptor import (
+    DESC_COMPLETED,
+    DESC_EOP,
+    DESC_STOP,
+    DESCRIPTOR_MAGIC,
+    DESCRIPTOR_SIZE,
+    DescriptorError,
+    XdmaDescriptor,
+)
+from repro.fpga.xdma.engine import (
+    COMPLETION_CYCLES,
+    DESC_PROCESS_CYCLES,
+    Direction,
+    DmaEngine,
+)
+from repro.fpga.xdma import regs
+
+__all__ = [
+    "AXI_BRAM_BASE",
+    "AxiWindow",
+    "COMPLETION_CYCLES",
+    "DESC_COMPLETED",
+    "DESC_EOP",
+    "DESC_PROCESS_CYCLES",
+    "DESC_STOP",
+    "DESCRIPTOR_MAGIC",
+    "DESCRIPTOR_SIZE",
+    "DescriptorError",
+    "Direction",
+    "DmaEngine",
+    "NUM_USER_IRQS",
+    "XDMA_DEVICE_ID",
+    "XILINX_VENDOR_ID",
+    "XdmaCore",
+    "XdmaDescriptor",
+    "regs",
+]

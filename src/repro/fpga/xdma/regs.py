@@ -1,0 +1,80 @@
+"""XDMA register map constants.
+
+Follows the shape of PG195 ("DMA/Bridge Subsystem for PCI Express v4.1",
+the IP used by the paper, its reference [31]): the DMA register BAR is
+divided into 4 KiB blocks per functional target, identified by the upper
+address bits; each channel block carries identifier/control/status
+registers, and the SGDMA blocks carry the descriptor pointers.
+
+Only the registers the reference driver actually touches on the data
+path are implemented; identifiers are present so driver-side sanity
+checks (reading the subsystem identifier) behave like real hardware.
+"""
+
+from __future__ import annotations
+
+#: Size of the DMA config BAR.
+DMA_BAR_SIZE = 64 << 10
+
+# -- target block bases (upper bits of the register offset) -----------------
+H2C_CHANNEL_BASE = 0x0000
+C2H_CHANNEL_BASE = 0x1000
+IRQ_BLOCK_BASE = 0x2000
+CONFIG_BLOCK_BASE = 0x3000
+H2C_SGDMA_BASE = 0x4000
+C2H_SGDMA_BASE = 0x5000
+SGDMA_COMMON_BASE = 0x6000
+
+#: Stride between channels within a target block (channel N at base+N*0x100).
+CHANNEL_STRIDE = 0x100
+
+# -- channel register offsets (within a channel block) ---------------------------
+CHAN_IDENTIFIER = 0x00
+CHAN_CONTROL = 0x04
+CHAN_STATUS = 0x40
+CHAN_COMPLETED_DESC_COUNT = 0x48
+CHAN_ALIGNMENTS = 0x4C
+CHAN_POLL_MODE_WB_LO = 0x88
+CHAN_POLL_MODE_WB_HI = 0x8C
+CHAN_INT_ENABLE_MASK = 0x90
+
+# Control register bits.
+CTRL_RUN = 1 << 0
+CTRL_IE_DESC_STOPPED = 1 << 1
+CTRL_IE_DESC_COMPLETED = 1 << 2
+CTRL_POLLMODE_WB_ENABLE = 1 << 26
+
+# Status register bits.
+STAT_BUSY = 1 << 0
+STAT_DESC_STOPPED = 1 << 1
+STAT_DESC_COMPLETED = 1 << 2
+
+# -- SGDMA register offsets (within a channel's SGDMA block) ----------------------
+SGDMA_DESC_LO = 0x80
+SGDMA_DESC_HI = 0x84
+SGDMA_DESC_ADJACENT = 0x88
+SGDMA_DESC_CREDITS = 0x8C
+
+# -- IRQ block registers -------------------------------------------------------------
+IRQ_IDENTIFIER = 0x00
+IRQ_USER_INT_ENABLE = 0x04
+IRQ_CHANNEL_INT_ENABLE = 0x10
+IRQ_USER_INT_REQUEST = 0x40
+IRQ_CHANNEL_INT_REQUEST = 0x44
+IRQ_USER_VECTOR_BASE = 0x80  # 4 regs, 4 vectors each (nibble-packed in HW; one per reg here)
+IRQ_CHANNEL_VECTOR_BASE = 0xA0
+
+# -- config block --------------------------------------------------------------------
+CFG_IDENTIFIER = 0x00
+
+#: Identifier register magic: upper 20 bits of every XDMA identifier
+#: register read 0x1fc. Subsystem for channel blocks encodes target+id.
+IDENTIFIER_MAGIC = 0x1FC0_0000
+
+
+def channel_identifier(target: int, channel: int, stream: bool = False) -> int:
+    """Compose an identifier register value as PG195 does: magic,
+    target (H2C=0, C2H=1, IRQ=2, CFG=3, SGDMA=4/5), stream bit, id."""
+    return IDENTIFIER_MAGIC | ((target & 0xF) << 16) | ((1 if stream else 0) << 15) | (
+        channel & 0xF
+    )

@@ -1,0 +1,21 @@
+"""Host OS model: kernel hub, costs/noise, interrupts, timekeeping,
+character devices, and the network stack (``repro.host.netstack``)."""
+
+from repro.host.chardev import CharDevice, sys_poll, sys_read, sys_write
+from repro.host.costs import CostModel, InterferenceModel, default_cost_model
+from repro.host.irq import InterruptController
+from repro.host.kernel import HostKernel
+from repro.host.timekeeping import MonotonicClock
+
+__all__ = [
+    "CharDevice",
+    "CostModel",
+    "HostKernel",
+    "InterferenceModel",
+    "InterruptController",
+    "MonotonicClock",
+    "default_cost_model",
+    "sys_poll",
+    "sys_read",
+    "sys_write",
+]

@@ -1,0 +1,78 @@
+"""Character-device framework and its syscall layer.
+
+The XDMA reference driver "operates as a character device. At the most
+basic level, a user application can use the I/O system calls ``read()``
+and ``write()`` to move data between a buffer in the host memory and
+FPGA memory" (Section IV-A).  This module provides the VFS-like plumbing
+between a test application and such a driver:
+
+* :class:`CharDevice` -- the file-operations interface a driver
+  implements (``dev_write`` / ``dev_read`` / ``poll_readable``),
+* syscall wrappers (:func:`sys_write`, :func:`sys_read`, :func:`sys_poll`)
+  that add the trap/dispatch costs around the driver's work.
+
+Applications call the wrappers with ``yield from``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.host.kernel import HostKernel
+from repro.sim.event import Event
+
+
+class CharDevice:
+    """File operations a character-device driver provides."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def dev_write(self, data: bytes) -> Generator[Any, Any, int]:
+        """Driver write path; returns bytes accepted."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def dev_read(self, length: int) -> Generator[Any, Any, bytes]:
+        """Driver read path; returns the data."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def poll_readable(self) -> Event:
+        """Event that fires when the device becomes readable."""
+        raise NotImplementedError
+
+
+def sys_write(kernel: HostKernel, dev: CharDevice, data: bytes) -> Generator[Any, Any, int]:
+    """``write(fd, buf, n)`` on a character device.
+
+    The XDMA driver pins the user buffer for DMA rather than copying it,
+    so no per-byte copy cost appears here; buffer pinning/mapping cost
+    is part of the driver's ``driver_descriptor_build`` segment.
+    """
+    yield kernel.cpu("syscall_entry")
+    yield kernel.cpu("chardev_dispatch")
+    written = yield from dev.dev_write(data)
+    yield kernel.cpu("syscall_exit")
+    return written
+
+
+def sys_read(kernel: HostKernel, dev: CharDevice, length: int) -> Generator[Any, Any, bytes]:
+    """``read(fd, buf, n)`` on a character device."""
+    yield kernel.cpu("syscall_entry")
+    yield kernel.cpu("chardev_dispatch")
+    data = yield from dev.dev_read(length)
+    yield kernel.cpu("syscall_exit")
+    return data
+
+
+def sys_poll(kernel: HostKernel, dev: CharDevice) -> Generator[Any, Any, None]:
+    """``poll(fd)`` until the device is readable (Section IV-A: "The
+    user application uses a system call such as poll() to monitor the
+    device file for interrupts")."""
+    yield kernel.cpu("syscall_entry")
+    yield kernel.cpu("poll_syscall")
+    event = dev.poll_readable()
+    if not event.triggered:
+        yield from kernel.block_on(event)
+    yield kernel.cpu("syscall_exit")

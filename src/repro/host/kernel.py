@@ -1,0 +1,118 @@
+"""The host kernel model.
+
+:class:`HostKernel` is the hub the driver and network-stack models hang
+off: it owns the cost model, the interrupt controller, DMA-able memory
+allocation, the monotonic clock, and the two primitive operations every
+software model uses:
+
+* ``cpu(segment)`` -- sample the duration of a named software segment
+  (nominal + body jitter + any Poisson interference stall) for the
+  caller to ``yield``;
+* ``mmio_read`` / ``mmio_write`` -- processor-initiated accesses to
+  device BARs, with the fundamental asymmetry the paper's analysis
+  leans on: writes are *posted* (cheap for the CPU, the paper's VirtIO
+  driver needs exactly one per transfer -- "only a notification using a
+  single I/O write is needed at runtime"), while reads stall the CPU for
+  a full link round trip.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.host.costs import CostModel, default_cost_model
+from repro.host.irq import InterruptController
+from repro.host.timekeeping import MonotonicClock
+from repro.mem.dma import DmaAllocator, DmaBuffer
+from repro.mem.physical import PhysicalMemory
+from repro.pcie.root_complex import RootComplex
+from repro.sim.component import Component
+from repro.sim.event import Event
+from repro.sim.time import SimTime
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+
+class HostKernel(Component):
+    """The simulated host OS."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        rc: RootComplex,
+        costs: Optional[CostModel] = None,
+        name: str = "host",
+        parent: Optional[Component] = None,
+        tracer=None,
+    ) -> None:
+        super().__init__(sim, name, parent=parent, tracer=tracer)
+        self.rc = rc
+        self.memory: PhysicalMemory = rc.host_memory
+        self.dma = DmaAllocator(self.memory)
+        self.costs = costs if costs is not None else default_cost_model()
+        self.clock = MonotonicClock(sim)
+        self.irqc = InterruptController(sim, self, parent=self)
+        rc.set_msi_handler(self.irqc.deliver_msi)
+
+    # -- CPU time ---------------------------------------------------------------
+
+    def cpu(self, segment: str, extra_ps: SimTime = 0) -> SimTime:
+        """Sampled duration of one software segment, to be yielded.
+
+        ``extra_ps`` adds a deterministic data-dependent part (e.g. a
+        per-byte copy cost) before interference is applied, so long
+        copies are proportionally more likely to be preempted.
+        """
+        duration = self.costs.segment(segment).sample(self.rng("cpu")) + extra_ps
+        stall = self.costs.interference.stall_during(duration, self.rng("interference"))
+        if stall:
+            self.trace("preemption", segment=segment, stall_ps=stall)
+        return duration + stall
+
+    def copy(self, length: int) -> SimTime:
+        """Duration of copying *length* bytes (copy_touch + per byte)."""
+        return self.cpu("copy_touch", extra_ps=self.costs.copy_cost(length))
+
+    def checksum(self, length: int) -> SimTime:
+        """Duration of software-checksumming *length* bytes."""
+        return self.cpu("copy_touch", extra_ps=self.costs.csum_cost(length))
+
+    # -- MMIO --------------------------------------------------------------------
+
+    def mmio_write(self, addr: int, data: bytes) -> SimTime:
+        """Posted MMIO write: issues the TLP immediately; returns the
+        CPU-side cost for the caller to yield."""
+        self.rc.mmio_write(addr, data)
+        return self.cpu("mmio_write_cpu")
+
+    def mmio_read(self, addr: int, length: int) -> Generator[Any, Any, bytes]:
+        """Non-posted MMIO read: the caller is stalled for the link
+        round trip plus a small CPU-side overhead.  Usage::
+
+            value = yield from kernel.mmio_read(addr, 4)
+        """
+        yield self.cpu("mmio_read_extra")
+        data = yield self.rc.mmio_read(addr, length)
+        return data
+
+    # -- blocking / wakeup ------------------------------------------------------------
+
+    def block_on(self, event: Event) -> Generator[Any, Any, Any]:
+        """Block the calling task on *event*; on wake, charge the
+        scheduler wakeup/context-switch cost before resuming.  Returns
+        the event's value."""
+        value = yield event
+        yield self.cpu("task_wakeup")
+        return value
+
+    # -- memory ------------------------------------------------------------------------
+
+    def alloc_dma(self, size: int, alignment: int = 64) -> DmaBuffer:
+        """Allocate a coherent DMA buffer (rings, packet buffers)."""
+        return self.dma.alloc(size, alignment)
+
+    def gettime_ns(self) -> int:
+        """``clock_gettime(CLOCK_MONOTONIC)`` value (caller should yield
+        ``self.clock.call_cost()`` to account for the call)."""
+        return self.clock.gettime_ns()

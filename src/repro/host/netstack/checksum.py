@@ -1,0 +1,43 @@
+"""Internet checksum (RFC 1071), vectorized.
+
+Used by the IPv4/UDP codecs and by the FPGA user logic's checksum
+offload.  NumPy handles the 16-bit one's-complement sum so checksumming
+a 1 KiB payload costs one vector pass, keeping 50 000-packet experiment
+runs fast (per the HPC guides: vectorize the hot loop).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def ones_complement_sum(data: bytes) -> int:
+    """16-bit one's-complement sum of *data* (odd length zero-padded)."""
+    if len(data) % 2:
+        data = data + b"\x00"
+    words = np.frombuffer(data, dtype=">u2").astype(np.uint64)
+    total = int(words.sum())
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return total
+
+
+def internet_checksum(data: bytes) -> int:
+    """The RFC 1071 checksum of *data* (already-complemented, as stored
+    in headers)."""
+    return (~ones_complement_sum(data)) & 0xFFFF
+
+
+def verify_checksum(data: bytes) -> bool:
+    """True if *data* (including its checksum field) sums to all-ones."""
+    return ones_complement_sum(data) == 0xFFFF
+
+
+def pseudo_header(src_ip: int, dst_ip: int, protocol: int, length: int) -> bytes:
+    """IPv4 pseudo-header for UDP/TCP checksums."""
+    out = bytearray(12)
+    out[0:4] = src_ip.to_bytes(4, "big")
+    out[4:8] = dst_ip.to_bytes(4, "big")
+    out[9] = protocol
+    out[10:12] = length.to_bytes(2, "big")
+    return bytes(out)

@@ -1,0 +1,133 @@
+"""Network devices and NAPI.
+
+:class:`NetDevice` is the contract between the stack and a NIC driver
+(the virtio-net front-end binds here): a transmit hook plus link
+metadata and offload feature flags.
+
+:class:`NapiContext` models New-API receive processing: the interrupt
+handler disables the device's queue interrupts and *schedules* NAPI; the
+poll callback then harvests packets in softirq context and re-enables
+interrupts when it goes idle.  This is why a virtio-net RX burst costs
+one interrupt, not one per packet -- part of the software-cost asymmetry
+the paper measures.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Generator, Optional, Set
+
+from repro.host.netstack.skb import Skb
+from repro.sim.component import Component
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.host.kernel import HostKernel
+
+#: Offload feature flags (subset of NETIF_F_*).
+FEATURE_HW_CSUM = "hw-csum"
+FEATURE_RX_CSUM_VALID = "rx-csum-valid"
+
+#: Packets one NAPI poll may harvest before yielding the CPU.
+NAPI_WEIGHT = 64
+
+XmitFn = Callable[[Skb], Generator[Any, Any, None]]
+PollFn = Callable[[int], Generator[Any, Any, int]]
+
+
+class NetDevice(Component):
+    """A registered network interface."""
+
+    def __init__(
+        self,
+        kernel: "HostKernel",
+        ifname: str,
+        mac: bytes,
+        mtu: int = 1500,
+        features: Optional[Set[str]] = None,
+        parent: Optional[Component] = None,
+    ) -> None:
+        super().__init__(kernel.sim, ifname, parent=parent)
+        if len(mac) != 6:
+            raise ValueError("MAC must be 6 bytes")
+        self.kernel = kernel
+        self.ifname = ifname
+        self.mac = bytes(mac)
+        self.mtu = mtu
+        self.features: Set[str] = set(features or ())
+        self.ip: int = 0
+        self._xmit: Optional[XmitFn] = None
+        self.tx_packets = 0
+        self.rx_packets = 0
+
+    def set_xmit(self, xmit: XmitFn) -> None:
+        """Install the driver's ndo_start_xmit."""
+        self._xmit = xmit
+
+    def has_feature(self, feature: str) -> bool:
+        return feature in self.features
+
+    def start_xmit(self, skb: Skb) -> Generator[Any, Any, None]:
+        """Hand a frame to the driver (stack calls with ``yield from``)."""
+        if self._xmit is None:
+            raise RuntimeError(f"device {self.ifname!r} has no transmit hook")
+        self.tx_packets += 1
+        skb.device = self.ifname
+        yield from self._xmit(skb)
+
+
+class NapiContext:
+    """One NAPI instance (one RX queue's poll machinery)."""
+
+    def __init__(
+        self,
+        kernel: "HostKernel",
+        device: NetDevice,
+        poll: PollFn,
+        irq_enable: Callable[[], None],
+        irq_disable: Callable[[], None],
+        weight: int = NAPI_WEIGHT,
+        recheck: Callable[[], bool] | None = None,
+    ) -> None:
+        self.kernel = kernel
+        self.device = device
+        self.poll = poll
+        self.irq_enable = irq_enable
+        self.irq_disable = irq_disable
+        self.weight = weight
+        #: Post-complete race check: after re-enabling interrupts the
+        #: driver must look at the ring once more, because a completion
+        #: that landed while interrupts were suppressed raises nothing
+        #: (virtio spec 2.7.9 / Linux virtqueue_napi_complete).
+        self.recheck = recheck
+        self.scheduled = False
+        self.polls = 0
+        self.packets_harvested = 0
+        self.recheck_rearms = 0
+
+    def schedule(self) -> None:
+        """From hard-IRQ context: disable queue interrupts and queue the
+        poll into softirq.  Idempotent while already scheduled."""
+        if self.scheduled:
+            return
+        self.scheduled = True
+        self.irq_disable()
+        self.kernel.irqc.raise_softirq(self._run(), name=f"napi-{self.device.ifname}")
+
+    def _run(self) -> Generator[Any, Any, None]:
+        yield self.kernel.cpu("napi_poll_entry")
+        while True:
+            self.polls += 1
+            harvested = yield from self.poll(self.weight)
+            self.packets_harvested += harvested
+            if harvested < self.weight:
+                # Ring drained: napi_complete_done -> re-enable interrupts.
+                self.irq_enable()
+                if self.recheck is not None and self.recheck():
+                    # A completion raced the re-enable; poll again.
+                    self.recheck_rearms += 1
+                    self.irq_disable()
+                    yield self.kernel.cpu("napi_poll_entry")
+                    continue
+                self.scheduled = False
+                return
+            # Full budget consumed: stay scheduled, let others run.
+            yield self.kernel.cpu("softirq_schedule")

@@ -1,0 +1,99 @@
+"""UDP sockets: the C socket API the paper's test application uses.
+
+Section III-B1: "The user space test application uses the C socket
+programming API to send packets to the FPGA."  :class:`UdpSocket`
+provides ``sendto``/``recvfrom`` as process generators with the syscall
+costs around the stack work.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Deque, Generator, Optional, Tuple
+
+from repro.host.netstack.stack import NetworkStack
+from repro.sim.event import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.host.kernel import HostKernel
+
+#: (payload, (src_ip, src_port))
+Datagram = Tuple[bytes, Tuple[int, int]]
+
+
+class SocketError(RuntimeError):
+    """Bind conflicts and misuse."""
+
+
+class UdpSocket:
+    """An AF_INET/SOCK_DGRAM socket."""
+
+    def __init__(self, kernel: "HostKernel", stack: NetworkStack) -> None:
+        self.kernel = kernel
+        self.stack = stack
+        self.local_port: Optional[int] = None
+        self._rx_queue: Deque[Datagram] = deque()
+        self._rx_waiter: Optional[Event] = None
+        self.rx_enqueued = 0
+        self.rx_dropped = 0
+        #: SO_RCVBUF analogue, in datagrams.
+        self.rx_queue_limit = 1024
+
+    def bind(self, port: int) -> None:
+        """Bind the local port (registers with the stack's UDP demux)."""
+        if self.local_port is not None:
+            raise SocketError("socket already bound")
+        self.stack.bind_udp(port, self)
+        self.local_port = port
+
+    def close(self) -> None:
+        if self.local_port is not None:
+            self.stack.unbind_udp(self.local_port)
+            self.local_port = None
+
+    # -- stack-side delivery -------------------------------------------------------
+
+    def deliver(self, payload: bytes, source: Tuple[int, int]) -> None:
+        """Called by the stack's UDP demux (already in softirq context)."""
+        if len(self._rx_queue) >= self.rx_queue_limit:
+            self.rx_dropped += 1
+            return
+        self._rx_queue.append((payload, source))
+        self.rx_enqueued += 1
+        if self._rx_waiter is not None:
+            waiter, self._rx_waiter = self._rx_waiter, None
+            waiter.trigger(None)
+
+    # -- application API -------------------------------------------------------------
+
+    def sendto(self, payload: bytes, dst_ip: int, dst_port: int) -> Generator[Any, Any, int]:
+        """``sendto(fd, buf, n, 0, addr)``; returns bytes sent."""
+        if self.local_port is None:
+            raise SocketError("sendto on unbound socket (bind first)")
+        kernel = self.kernel
+        yield kernel.cpu("syscall_entry")
+        yield kernel.cpu("sock_lookup")
+        yield from self.stack.udp_output(self.local_port, dst_ip, dst_port, payload)
+        yield kernel.cpu("syscall_exit")
+        return len(payload)
+
+    def recvfrom(self) -> Generator[Any, Any, Datagram]:
+        """``recvfrom(fd, ...)``; blocks until a datagram arrives."""
+        if self.local_port is None:
+            raise SocketError("recvfrom on unbound socket (bind first)")
+        kernel = self.kernel
+        yield kernel.cpu("syscall_entry")
+        yield kernel.cpu("sock_lookup")
+        while not self._rx_queue:
+            if self._rx_waiter is not None:
+                raise SocketError("concurrent recvfrom on one socket not supported")
+            self._rx_waiter = Event(name="udp-recv")
+            yield from kernel.block_on(self._rx_waiter)
+        payload, source = self._rx_queue.popleft()
+        yield kernel.copy(len(payload))  # copy_to_user
+        yield kernel.cpu("syscall_exit")
+        return payload, source
+
+    @property
+    def rx_pending(self) -> int:
+        return len(self._rx_queue)

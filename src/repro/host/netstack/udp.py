@@ -1,0 +1,86 @@
+"""UDP: header codec with pseudo-header checksum."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.host.netstack.checksum import internet_checksum, ones_complement_sum, pseudo_header
+from repro.host.netstack.ip import IPPROTO_UDP
+
+UDP_HEADER_SIZE = 8
+
+
+@dataclass(frozen=True)
+class UdpHeader:
+    src_port: int
+    dst_port: int
+    length: int
+    checksum: int = 0
+
+    def __post_init__(self) -> None:
+        for port in (self.src_port, self.dst_port):
+            if not 0 <= port <= 0xFFFF:
+                raise ValueError(f"bad port {port}")
+
+    def encode(self) -> bytes:
+        buf = bytearray(UDP_HEADER_SIZE)
+        buf[0:2] = self.src_port.to_bytes(2, "big")
+        buf[2:4] = self.dst_port.to_bytes(2, "big")
+        buf[4:6] = self.length.to_bytes(2, "big")
+        buf[6:8] = self.checksum.to_bytes(2, "big")
+        return bytes(buf)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "UdpHeader":
+        if len(data) < UDP_HEADER_SIZE:
+            raise ValueError(f"UDP header needs {UDP_HEADER_SIZE}B, got {len(data)}")
+        return cls(
+            src_port=int.from_bytes(data[0:2], "big"),
+            dst_port=int.from_bytes(data[2:4], "big"),
+            length=int.from_bytes(data[4:6], "big"),
+            checksum=int.from_bytes(data[6:8], "big"),
+        )
+
+
+def udp_datagram(
+    src_ip: int,
+    dst_ip: int,
+    src_port: int,
+    dst_port: int,
+    payload: bytes,
+    compute_checksum: bool = True,
+) -> bytes:
+    """Build header+payload with (optional) checksum.
+
+    ``compute_checksum=False`` leaves the field zero -- the state in
+    which a checksum-offloading stack hands the datagram to hardware
+    (the FPGA then fills it, per the paper's offload discussion).
+    """
+    length = UDP_HEADER_SIZE + len(payload)
+    header = UdpHeader(src_port=src_port, dst_port=dst_port, length=length)
+    raw = header.encode() + payload
+    if compute_checksum:
+        csum = udp_checksum(src_ip, dst_ip, raw)
+        raw = raw[:6] + csum.to_bytes(2, "big") + raw[8:]
+    return raw
+
+
+def udp_checksum(src_ip: int, dst_ip: int, datagram: bytes) -> int:
+    """Checksum over pseudo-header + datagram (checksum field zeroed).
+
+    Returns 0xFFFF instead of 0, per RFC 768 (0 means "no checksum").
+    """
+    zeroed = datagram[:6] + b"\x00\x00" + datagram[8:]
+    csum = internet_checksum(pseudo_header(src_ip, dst_ip, IPPROTO_UDP, len(datagram)) + zeroed)
+    return csum if csum != 0 else 0xFFFF
+
+
+def udp_checksum_valid(src_ip: int, dst_ip: int, datagram: bytes) -> bool:
+    """Verify a received datagram's checksum (0 = not used = valid)."""
+    header = UdpHeader.decode(datagram)
+    if header.checksum == 0:
+        return True
+    total = ones_complement_sum(
+        pseudo_header(src_ip, dst_ip, IPPROTO_UDP, len(datagram)) + datagram
+    )
+    return total == 0xFFFF

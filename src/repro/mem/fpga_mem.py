@@ -1,0 +1,87 @@
+"""FPGA-side memories: BRAM and external DRAM.
+
+Both are plain RAM regions plus access-timing metadata.  The paper's
+designs store packet data in BRAM connected to the XDMA AXI
+memory-mapped interface; DRAM is provided because Fig. 2 lists
+"BRAM/DDR" as the VirtIO controller's data store and the bypass-interface
+example uses a larger buffer than BRAM would hold.
+
+Timing is exposed as ``access_time(bytes)`` used by the FPGA-side FSMs;
+the byte store itself is functional (zero-time), consistent with the rest
+of :mod:`repro.mem`.
+"""
+
+from __future__ import annotations
+
+from repro.mem.region import RamRegion
+from repro.sim.time import FPGA_FABRIC_CLOCK, Frequency, SimTime
+
+
+class Bram(RamRegion):
+    """On-chip block RAM.
+
+    True dual-port BRAM at fabric clock: 1-cycle read latency, full
+    per-cycle throughput at the port width.
+
+    Parameters
+    ----------
+    size:
+        Capacity in bytes.
+    width_bytes:
+        Port width (the XDMA example design uses a 64-bit = 8-byte AXI
+        data path at x2 Gen2; the VirtIO design matches it, per
+        Section III-B2 "minor modifications ... to match that used in the
+        VirtIO design").
+    clock:
+        Fabric clock (125 MHz by default).
+    """
+
+    def __init__(
+        self,
+        size: int = 64 << 10,
+        width_bytes: int = 1,
+        clock: Frequency = FPGA_FABRIC_CLOCK,
+        name: str = "bram",
+    ) -> None:
+        super().__init__(size, name)
+        if width_bytes <= 0 or width_bytes & (width_bytes - 1):
+            raise ValueError(f"width_bytes must be a power of two, got {width_bytes}")
+        self.width_bytes = width_bytes
+        self.clock = clock
+
+    def access_time(self, length: int) -> SimTime:
+        """Cycles to stream *length* bytes through one port, as time."""
+        if length < 0:
+            raise ValueError(f"length must be >= 0, got {length}")
+        beats = (length + self.width_bytes - 1) // self.width_bytes
+        # 1 setup cycle + 1 beat per width.
+        return self.clock.cycles_to_time(1 + beats)
+
+
+class FpgaDram(RamRegion):
+    """External DDR attached to the FPGA.
+
+    Modeled as fixed row-activation latency plus streaming at the
+    controller's effective bandwidth.
+    """
+
+    def __init__(
+        self,
+        size: int = 256 << 20,
+        activate_ns: float = 45.0,
+        bandwidth_bytes_per_s: float = 1.6e9,
+        name: str = "fpga-dram",
+    ) -> None:
+        super().__init__(size, name)
+        if activate_ns < 0:
+            raise ValueError(f"activate_ns must be >= 0, got {activate_ns}")
+        if bandwidth_bytes_per_s <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth_bytes_per_s}")
+        self.activate_ns = activate_ns
+        self.bandwidth_bytes_per_s = bandwidth_bytes_per_s
+
+    def access_time(self, length: int) -> SimTime:
+        if length < 0:
+            raise ValueError(f"length must be >= 0, got {length}")
+        stream_ps = length / self.bandwidth_bytes_per_s * 1e12
+        return round(self.activate_ns * 1000 + stream_ps)

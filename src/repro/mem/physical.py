@@ -1,0 +1,73 @@
+"""Sparse host physical memory.
+
+The host model needs gigabytes of addressable memory but touches only a few
+megabytes, so the backing store is a page-sparse dict.  Pages materialize
+on first write; reads of untouched pages return zeros (matching how a
+fresh kernel page behaves after zeroing).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.mem.region import MemoryRegion
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT  # 4 KiB, matching the modeled x86-64 host
+
+
+class PhysicalMemory(MemoryRegion):
+    """Page-sparse physical memory of a given size."""
+
+    def __init__(self, size: int = 1 << 34, name: str = "host-ram") -> None:
+        super().__init__(size, name)
+        self._pages: Dict[int, bytearray] = {}
+
+    def _page_for_write(self, pfn: int) -> bytearray:
+        page = self._pages.get(pfn)
+        if page is None:
+            page = bytearray(PAGE_SIZE)
+            self._pages[pfn] = page
+        return page
+
+    def read(self, offset: int, length: int) -> bytes:
+        self._check(offset, length)
+        out = bytearray(length)
+        pos = 0
+        addr = offset
+        while pos < length:
+            pfn = addr >> PAGE_SHIFT
+            in_page = addr & (PAGE_SIZE - 1)
+            chunk = min(length - pos, PAGE_SIZE - in_page)
+            page = self._pages.get(pfn)
+            if page is not None:
+                out[pos : pos + chunk] = page[in_page : in_page + chunk]
+            # else: leave zeros
+            pos += chunk
+            addr += chunk
+        return bytes(out)
+
+    def write(self, offset: int, data: bytes) -> None:
+        self._check(offset, len(data))
+        pos = 0
+        addr = offset
+        length = len(data)
+        while pos < length:
+            pfn = addr >> PAGE_SHIFT
+            in_page = addr & (PAGE_SIZE - 1)
+            chunk = min(length - pos, PAGE_SIZE - in_page)
+            page = self._page_for_write(pfn)
+            page[in_page : in_page + chunk] = data[pos : pos + chunk]
+            pos += chunk
+            addr += chunk
+
+    @property
+    def resident_pages(self) -> int:
+        """Number of materialized pages (memory-usage diagnostics)."""
+        return len(self._pages)
+
+    def fill(self, offset: int, length: int, value: int = 0) -> None:
+        """Set *length* bytes at *offset* to *value*."""
+        if not 0 <= value <= 0xFF:
+            raise ValueError(f"fill value must be a byte, got {value}")
+        self.write(offset, bytes([value]) * length)

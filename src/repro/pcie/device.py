@@ -1,0 +1,262 @@
+"""PCIe endpoint base class.
+
+A :class:`PcieEndpoint` owns a config space, BAR-mapped regions, and an
+optional MSI-X block; it terminates downstream TLPs (config and memory
+requests) and offers its internal logic a DMA API toward host memory
+(`dma_read`/`dma_write`) plus `raise_msix`.
+
+Concrete devices (the XDMA IP model, and through it the VirtIO FPGA
+device) subclass or compose this with their register blocks.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.mem.region import MemoryAccessError, MemoryRegion
+from repro.pcie.config_space import BarDefinition, ConfigSpace
+from repro.pcie.link import PcieLink
+from repro.pcie.msi import MsixCapability, MsixTable
+from repro.pcie.tlp import (
+    CompletionStatus,
+    Tlp,
+    TlpKind,
+    completion_error,
+    completion_with_data,
+    memory_write,
+    segment_read,
+    segment_write,
+    split_completion,
+)
+from repro.sim.component import Component
+from repro.sim.event import Event
+from repro.sim.time import ns
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+
+class _PendingRead:
+    """Reassembly state for one outstanding DMA read request."""
+
+    __slots__ = ("expected", "chunks", "received", "event", "base_addr")
+
+    def __init__(self, expected: int, event: Event, base_addr: int) -> None:
+        self.expected = expected
+        self.chunks: List[bytes] = []
+        self.received = 0
+        self.event = event
+        self.base_addr = base_addr
+
+
+class PcieEndpoint(Component):
+    """Single-function PCIe endpoint attached to one link.
+
+    Parameters
+    ----------
+    completer_latency_ns:
+        Internal pipeline latency between receiving a non-posted request
+        and emitting its completion (BAR access paths in the PCIe hard
+        block; PG195-class IPs sit around 100-200 ns for register reads).
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        link: PcieLink,
+        config: ConfigSpace,
+        name: str = "endpoint",
+        parent: Optional[Component] = None,
+        completer_latency_ns: float = 120.0,
+    ) -> None:
+        super().__init__(sim, name, parent=parent)
+        self.link = link
+        self.config = config
+        self.completer_latency = ns(completer_latency_ns)
+        self._bar_regions: Dict[int, MemoryRegion] = {}
+        self._pending_reads: Dict[int, _PendingRead] = {}
+        self.msix: Optional[MsixCapability] = None
+        link.attach_endpoint_rx(self._receive)
+        self._stat_dma_read_tlps = 0
+        self._stat_dma_write_tlps = 0
+        self._stat_msix_raised = 0
+
+    # -- construction -----------------------------------------------------------
+
+    def attach_bar(self, index: int, region: MemoryRegion, prefetchable: bool = False,
+                   is_64bit: bool = False) -> None:
+        """Define a BAR of the region's (power-of-two padded) size and
+        back it with *region*."""
+        size = 1 << max(4, (region.size - 1).bit_length())
+        self.config.define_bar(
+            BarDefinition(index=index, size=size, prefetchable=prefetchable, is_64bit=is_64bit)
+        )
+        self._bar_regions[index] = region
+
+    def enable_msix(self, num_vectors: int, bar_index: int) -> MsixCapability:
+        """Add an MSI-X capability with its table in a dedicated BAR."""
+        table = MsixTable(num_vectors, name=f"{self.name}.msix")
+        self.attach_bar(bar_index, table)
+        self.msix = MsixCapability(self.config, table, table_bar=bar_index)
+        self.msix.on_refire(self.raise_msix)
+        return self.msix
+
+    def bar_region(self, index: int) -> MemoryRegion:
+        return self._bar_regions[index]
+
+    # -- downstream TLP handling ----------------------------------------------------
+
+    def _receive(self, tlp: Tlp) -> None:
+        if tlp.kind == TlpKind.CONFIG_READ:
+            self._handle_config_read(tlp)
+        elif tlp.kind == TlpKind.CONFIG_WRITE:
+            self._handle_config_write(tlp)
+        elif tlp.kind == TlpKind.MEM_READ:
+            self._handle_mem_read(tlp)
+        elif tlp.kind == TlpKind.MEM_WRITE:
+            self._handle_mem_write(tlp)
+        elif tlp.kind in (TlpKind.COMPLETION, TlpKind.COMPLETION_DATA):
+            self._handle_completion(tlp)
+        else:  # pragma: no cover - enum is exhaustive
+            raise RuntimeError(f"endpoint {self.name!r}: unexpected TLP {tlp!r}")
+
+    def _handle_config_read(self, tlp: Tlp) -> None:
+        data = self.config.read(tlp.addr, 4)
+        self.trace("cfg-read", offset=tlp.addr)
+        self.sim.schedule(
+            self.completer_latency,
+            self.link.send_upstream,
+            completion_with_data(tlp, data),
+        )
+
+    def _handle_config_write(self, tlp: Tlp) -> None:
+        self.config.write(tlp.addr, tlp.data)
+        self.trace("cfg-write", offset=tlp.addr, value=int.from_bytes(tlp.data, "little"))
+        if self.msix is not None:
+            lo, hi = self.msix.control_range()
+            if tlp.addr < hi and tlp.addr + len(tlp.data) > lo:
+                self.msix.sync_from_config()
+        # Non-posted: completion without data.
+        done = Tlp(kind=TlpKind.COMPLETION, requester=tlp.requester, tag=tlp.tag)
+        self.sim.schedule(self.completer_latency, self.link.send_upstream, done)
+
+    def _locate_bar(self, addr: int, length: int) -> Optional[tuple[MemoryRegion, int]]:
+        for index, region in self._bar_regions.items():
+            base = self.config.bar_address(index)
+            if base and base <= addr and addr + length <= base + region.size:
+                return region, addr - base
+        return None
+
+    def _handle_mem_read(self, tlp: Tlp) -> None:
+        if not self.config.memory_enabled:
+            self.link.send_upstream(completion_error(tlp, CompletionStatus.UNSUPPORTED_REQUEST))
+            return
+        located = self._locate_bar(tlp.addr, tlp.length)
+        if located is None:
+            self.trace("mem-read-ur", addr=tlp.addr)
+            self.link.send_upstream(completion_error(tlp, CompletionStatus.UNSUPPORTED_REQUEST))
+            return
+        region, offset = located
+        try:
+            data = region.read(offset, tlp.length)
+        except MemoryAccessError:
+            self.link.send_upstream(completion_error(tlp, CompletionStatus.COMPLETER_ABORT))
+            return
+        self.trace("mem-read", addr=tlp.addr, length=tlp.length)
+        delay = self.completer_latency
+        for cpl in split_completion(tlp, data, rcb=self.link.config.read_completion_boundary):
+            self.sim.schedule(delay, self.link.send_upstream, cpl)
+
+    def _handle_mem_write(self, tlp: Tlp) -> None:
+        if not self.config.memory_enabled:
+            self.trace("mem-write-dropped", addr=tlp.addr)
+            return
+        located = self._locate_bar(tlp.addr, tlp.length)
+        if located is None:
+            self.trace("mem-write-ur", addr=tlp.addr)
+            return  # posted: silently dropped (device would log an error)
+        region, offset = located
+        region.write(offset, tlp.data)
+        self.trace("mem-write", addr=tlp.addr, length=tlp.length)
+
+    # -- DMA master API (device internal logic) ------------------------------------
+
+    def dma_write(self, addr: int, data: bytes) -> Event:
+        """Write *data* to host memory; the event fires when the final
+        MWr TLP is delivered at the root complex.
+
+        Memory writes are posted on the wire, but the engine issuing
+        them stalls on flow-control credits until the link has accepted
+        the data, and any subsequent TLP (used-ring update, MSI-X) is
+        ordered behind the payload by the link FIFO -- so "last TLP
+        delivered" is the faithful notion of done for a DMA engine.
+        """
+        if not self.config.bus_master_enabled:
+            raise RuntimeError(f"{self.name!r}: DMA write with bus mastering disabled")
+        tlps = segment_write(addr, data, self.link.config.max_payload, requester=self.path)
+        self._stat_dma_write_tlps += len(tlps)
+        last_delivery: Optional[Event] = None
+        for tlp in tlps:
+            last_delivery = self.link.send_upstream(tlp)
+        assert last_delivery is not None
+        return last_delivery
+
+    def dma_read(self, addr: int, length: int) -> Event:
+        """Read *length* bytes from host memory; event fires with the
+        reassembled bytes when all completions have arrived."""
+        if not self.config.bus_master_enabled:
+            raise RuntimeError(f"{self.name!r}: DMA read with bus mastering disabled")
+        done = Event(name=f"{self.path}.dma_read")
+        requests = segment_read(addr, length, self.link.config.max_read_request,
+                                requester=self.path)
+        self._stat_dma_read_tlps += len(requests)
+        state = _PendingRead(expected=length, event=done, base_addr=addr)
+        for req in requests:
+            self._pending_reads[req.tag] = state
+            self.link.send_upstream(req)
+        return done
+
+    def _handle_completion(self, tlp: Tlp) -> None:
+        state = self._pending_reads.get(tlp.tag)
+        if state is None:
+            raise RuntimeError(f"{self.name!r}: completion with unknown tag {tlp.tag}")
+        if tlp.kind == TlpKind.COMPLETION:
+            del self._pending_reads[tlp.tag]
+            raise RuntimeError(
+                f"{self.name!r}: DMA read failed with {tlp.completion_status.name}"
+            )
+        state.chunks.append(tlp.data)
+        state.received += len(tlp.data)
+        if tlp.byte_count == len(tlp.data):
+            # Final split of this request.
+            del self._pending_reads[tlp.tag]
+        if state.received >= state.expected:
+            state.event.trigger(b"".join(state.chunks))
+
+    # -- interrupts ---------------------------------------------------------------
+
+    def raise_msix(self, vector: int) -> None:
+        """Fire an MSI-X vector (posted MWr to the vector's address)."""
+        if self.msix is None:
+            raise RuntimeError(f"{self.name!r}: MSI-X not configured")
+        message = self.msix.table.compose(vector)
+        if message is None:
+            self.trace("msix-suppressed", vector=vector)
+            return
+        self._stat_msix_raised += 1
+        self.trace("msix-raise", vector=vector, addr=message.address)
+        tlp = memory_write(
+            message.address, message.data.to_bytes(4, "little"), requester=self.path
+        )
+        tlp.detail["msix_vector"] = vector
+        self.link.send_upstream(tlp)
+
+    # -- statistics ------------------------------------------------------------------
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        return {
+            "dma_read_tlps": self._stat_dma_read_tlps,
+            "dma_write_tlps": self._stat_dma_write_tlps,
+            "msix_raised": self._stat_msix_raised,
+        }

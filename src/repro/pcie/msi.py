@@ -1,0 +1,191 @@
+"""MSI-X: message-signalled interrupts.
+
+A device raises a vector by posting a memory write to the address in the
+corresponding MSI-X table entry; the root complex recognizes the MSI
+address window and forwards (vector-data, at delivery time) to the host
+interrupt controller.  The table and PBA live in a device BAR, as the
+spec requires, so drivers program them through ordinary MMIO.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.mem.layout import read_u32, read_u64, write_u32
+from repro.mem.region import MemoryRegion
+from repro.pcie.config_space import CAP_ID_MSIX, ConfigSpace
+
+#: x86 MSI address window base (0xFEExxxxx).
+MSI_ADDRESS_BASE = 0xFEE0_0000
+MSI_ADDRESS_MASK = 0xFFF0_0000
+
+#: Bytes per MSI-X table entry: addr_lo, addr_hi, data, vector control.
+MSIX_ENTRY_SIZE = 16
+#: Vector-control mask bit.
+MSIX_ENTRY_MASKED = 1
+
+# Message-control bits (capability offset +0 after header bytes).
+MSIX_CTRL_ENABLE = 1 << 15
+MSIX_CTRL_FUNCTION_MASK = 1 << 14
+
+
+def msix_capability_body(table_size: int, table_bar: int, table_offset: int,
+                         pba_bar: int, pba_offset: int) -> bytes:
+    """Encode the MSI-X capability body (after the 2 standard bytes).
+
+    Layout: message control (2 B), table offset/BIR (4 B), PBA
+    offset/BIR (4 B).
+    """
+    if not 1 <= table_size <= 2048:
+        raise ValueError(f"MSI-X table size must be 1..2048, got {table_size}")
+    if table_offset % 8 or pba_offset % 8:
+        raise ValueError("MSI-X table/PBA offsets must be 8-byte aligned")
+    body = bytearray(10)
+    ctrl = (table_size - 1) & 0x7FF
+    body[0:2] = ctrl.to_bytes(2, "little")
+    body[2:6] = ((table_offset & ~0x7) | (table_bar & 0x7)).to_bytes(4, "little")
+    body[6:10] = ((pba_offset & ~0x7) | (pba_bar & 0x7)).to_bytes(4, "little")
+    return bytes(body)
+
+
+@dataclass(frozen=True)
+class MsixMessage:
+    """A fired MSI-X message: where it was posted and its payload."""
+
+    address: int
+    data: int
+    vector: int
+
+
+class MsixTable(MemoryRegion):
+    """The MSI-X vector table + PBA as a BAR-mappable region.
+
+    The driver writes entries through MMIO; the device fires vectors via
+    :meth:`compose`, which returns the MWr target or records a pending
+    bit when masked.
+    """
+
+    def __init__(self, num_vectors: int, name: str = "msix") -> None:
+        if not 1 <= num_vectors <= 2048:
+            raise ValueError(f"num_vectors must be 1..2048, got {num_vectors}")
+        table_bytes = num_vectors * MSIX_ENTRY_SIZE
+        pba_bytes = ((num_vectors + 63) // 64) * 8
+        super().__init__(table_bytes + pba_bytes, name)
+        self.num_vectors = num_vectors
+        self.pba_offset = table_bytes
+        self._data = bytearray(self.size)
+        # Entries power up masked, per spec.
+        for v in range(num_vectors):
+            write_u32(self._data, v * MSIX_ENTRY_SIZE + 12, MSIX_ENTRY_MASKED)
+        self.enabled = False
+        self.function_masked = False
+
+    # -- MMIO interface (driver side) ------------------------------------------
+
+    def read(self, offset: int, length: int) -> bytes:
+        self._check(offset, length)
+        return bytes(self._data[offset : offset + length])
+
+    def write(self, offset: int, data: bytes) -> None:
+        self._check(offset, len(data))
+        if offset >= self.pba_offset:
+            return  # PBA is read-only to software
+        self._data[offset : offset + len(data)] = data
+
+    # -- device interface ---------------------------------------------------------
+
+    def entry(self, vector: int) -> tuple[int, int, bool]:
+        """(address, data, masked) for a vector."""
+        if not 0 <= vector < self.num_vectors:
+            raise IndexError(f"vector {vector} out of range 0..{self.num_vectors - 1}")
+        base = vector * MSIX_ENTRY_SIZE
+        addr = read_u64(self._data, base)
+        data = read_u32(self._data, base + 8)
+        masked = bool(read_u32(self._data, base + 12) & MSIX_ENTRY_MASKED)
+        return addr, data, masked
+
+    def compose(self, vector: int) -> Optional[MsixMessage]:
+        """The message to post for *vector*, or ``None`` if suppressed.
+
+        Suppressed vectors set their pending bit, which fires on unmask
+        (handled by :meth:`take_pending`).
+        """
+        addr, data, masked = self.entry(vector)
+        if not self.enabled or self.function_masked or masked or addr == 0:
+            self._set_pending(vector)
+            return None
+        return MsixMessage(address=addr, data=data, vector=vector)
+
+    def _set_pending(self, vector: int) -> None:
+        byte_index = self.pba_offset + vector // 8
+        self._data[byte_index] |= 1 << (vector % 8)
+
+    def pending(self, vector: int) -> bool:
+        byte_index = self.pba_offset + vector // 8
+        return bool(self._data[byte_index] & (1 << (vector % 8)))
+
+    def take_pending(self, vector: int) -> bool:
+        """Clear and return the pending bit (called on unmask)."""
+        was = self.pending(vector)
+        if was:
+            byte_index = self.pba_offset + vector // 8
+            self._data[byte_index] &= ~(1 << (vector % 8)) & 0xFF
+        return was
+
+
+class MsixCapability:
+    """Glue between the config-space capability and the table region.
+
+    Watches message-control writes to track enable/function-mask state,
+    and re-fires vectors whose pending bits were set while masked.
+    """
+
+    def __init__(
+        self,
+        config: ConfigSpace,
+        table: MsixTable,
+        table_bar: int,
+        table_offset: int = 0,
+    ) -> None:
+        self.table = table
+        self.table_bar = table_bar
+        self.table_offset = table_offset
+        body = msix_capability_body(
+            table_size=table.num_vectors,
+            table_bar=table_bar,
+            table_offset=table_offset,
+            pba_bar=table_bar,
+            pba_offset=table_offset + table.pba_offset,
+        )
+        self.cap_offset = config.add_capability(CAP_ID_MSIX, body)
+        self._config = config
+        self._refire: List[Callable[[int], None]] = []
+
+    def on_refire(self, callback: Callable[[int], None]) -> None:
+        """Called with each vector whose pending bit fires on enable."""
+        self._refire.append(callback)
+
+    def sync_from_config(self) -> None:
+        """Re-read message control after a config write (the endpoint
+        calls this when software touches the capability)."""
+        ctrl = int.from_bytes(
+            self._config.raw[self.cap_offset + 2 : self.cap_offset + 4], "little"
+        )
+        was_enabled = self.table.enabled
+        self.table.enabled = bool(ctrl & MSIX_CTRL_ENABLE)
+        self.table.function_masked = bool(ctrl & MSIX_CTRL_FUNCTION_MASK)
+        if self.table.enabled and not self.table.function_masked and not was_enabled:
+            for vector in range(self.table.num_vectors):
+                if self.table.take_pending(vector):
+                    for cb in self._refire:
+                        cb(vector)
+
+    def control_range(self) -> tuple[int, int]:
+        """Config-space byte range of the message-control word."""
+        return self.cap_offset + 2, self.cap_offset + 4
+
+
+def is_msi_address(addr: int) -> bool:
+    """Whether a memory write targets the MSI window."""
+    return (addr & MSI_ADDRESS_MASK) == (MSI_ADDRESS_BASE & MSI_ADDRESS_MASK)

@@ -1,0 +1,285 @@
+"""Transaction Layer Packets.
+
+The simulator works at the transaction layer: requesters emit
+:class:`Tlp` objects; the link model charges serialization/propagation
+time; completers produce completion TLPs.  Physical- and data-link-layer
+mechanics (8b/10b symbols, DLLPs, ACK/NAK replay) are folded into the
+per-TLP overhead bytes and the link's efficiency factor -- they are
+invisible to device drivers, which is the layer the paper measures.
+
+Wire-size accounting per TLP (PCIe Gen1/2 framing):
+
+* 1 B STP + 2 B sequence number before the header,
+* 12 B header (3 DW, 32-bit addressing) or 16 B (4 DW, 64-bit),
+* payload (MWr/CplD only),
+* 4 B LCRC + 1 B END.
+
+giving ``DLL_OVERHEAD_BYTES = 8`` on top of header+payload.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+#: Link-layer framing bytes added to every TLP (STP+seq+LCRC+END).
+DLL_OVERHEAD_BYTES = 8
+#: 3-DW header (memory requests with 32-bit addresses, completions, config).
+HEADER_3DW_BYTES = 12
+#: 4-DW header (memory requests with 64-bit addresses).
+HEADER_4DW_BYTES = 16
+
+#: Addresses at or above 4 GiB need the 4-DW header format.
+ADDR_32BIT_LIMIT = 1 << 32
+
+
+class TlpKind(enum.Enum):
+    """Transaction types used by the models."""
+
+    MEM_READ = "MRd"
+    MEM_WRITE = "MWr"
+    COMPLETION = "Cpl"
+    COMPLETION_DATA = "CplD"
+    CONFIG_READ = "CfgRd0"
+    CONFIG_WRITE = "CfgWr0"
+
+
+class CompletionStatus(enum.Enum):
+    """Completion status field (subset used by the models)."""
+
+    SUCCESS = 0b000
+    UNSUPPORTED_REQUEST = 0b001
+    COMPLETER_ABORT = 0b100
+
+
+_tag_counter = itertools.count(1)
+
+
+def next_tag() -> int:
+    """Allocate a transaction tag (8-bit wrap, uniqueness is per-flight
+    and the models never keep 256 reads outstanding)."""
+    return next(_tag_counter) & 0xFF
+
+
+@dataclass
+class Tlp:
+    """One transaction-layer packet.
+
+    Attributes
+    ----------
+    kind:
+        Transaction type.
+    addr:
+        Target address (memory requests) or register number (config).
+    length:
+        Bytes requested/carried.  Zero only for Cpl (no data) and
+        zero-length reads (flush semantics, unused here).
+    data:
+        Payload for MWr / CplD / CfgWr0.
+    requester:
+        Identifier of the issuing agent (diagnostics and completion
+        routing; the simulator routes completions via Python callbacks,
+        but the field mirrors the wire protocol).
+    tag:
+        Transaction tag linking completions to requests.
+    completion_status:
+        For completions only.
+    byte_count / lower_address:
+        Completion-split bookkeeping, mirroring the spec fields so tests
+        can verify Read Completion Boundary behaviour.
+    """
+
+    kind: TlpKind
+    addr: int = 0
+    length: int = 0
+    data: bytes = b""
+    requester: str = ""
+    tag: int = 0
+    completion_status: CompletionStatus = CompletionStatus.SUCCESS
+    byte_count: int = 0
+    lower_address: int = 0
+    detail: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind in (TlpKind.MEM_WRITE, TlpKind.COMPLETION_DATA, TlpKind.CONFIG_WRITE):
+            if len(self.data) != self.length:
+                raise ValueError(
+                    f"{self.kind.value}: data length {len(self.data)} != length {self.length}"
+                )
+        elif self.kind in (TlpKind.MEM_READ, TlpKind.CONFIG_READ):
+            if self.data:
+                raise ValueError(f"{self.kind.value} TLP must not carry data")
+            if self.length <= 0:
+                raise ValueError(f"{self.kind.value} TLP must request at least 1 byte")
+        if self.addr < 0:
+            raise ValueError(f"negative address {self.addr:#x}")
+
+    @property
+    def is_posted(self) -> bool:
+        """Posted transactions receive no completion (memory writes)."""
+        return self.kind == TlpKind.MEM_WRITE
+
+    @property
+    def header_bytes(self) -> int:
+        """Header size: 64-bit memory addresses need the 4-DW format."""
+        if (
+            self.kind in (TlpKind.MEM_READ, TlpKind.MEM_WRITE)
+            and self.addr + max(self.length, 1) > ADDR_32BIT_LIMIT
+        ):
+            return HEADER_4DW_BYTES
+        return HEADER_3DW_BYTES
+
+    @property
+    def payload_bytes(self) -> int:
+        return len(self.data)
+
+    @property
+    def wire_bytes(self) -> int:
+        """Total bytes the TLP occupies on the link."""
+        return DLL_OVERHEAD_BYTES + self.header_bytes + self.payload_bytes
+
+    def __repr__(self) -> str:
+        core = f"{self.kind.value} addr={self.addr:#x} len={self.length}"
+        if self.kind in (TlpKind.COMPLETION, TlpKind.COMPLETION_DATA):
+            core += f" status={self.completion_status.name} tag={self.tag}"
+        return f"<Tlp {core}>"
+
+
+# -- constructors --------------------------------------------------------------
+
+
+def memory_read(addr: int, length: int, requester: str = "", tag: Optional[int] = None) -> Tlp:
+    """An MRd request."""
+    return Tlp(
+        kind=TlpKind.MEM_READ,
+        addr=addr,
+        length=length,
+        requester=requester,
+        tag=next_tag() if tag is None else tag,
+    )
+
+
+def memory_write(addr: int, data: bytes, requester: str = "") -> Tlp:
+    """A posted MWr request."""
+    return Tlp(
+        kind=TlpKind.MEM_WRITE, addr=addr, length=len(data), data=bytes(data), requester=requester
+    )
+
+
+def completion_with_data(
+    request: Tlp,
+    data: bytes,
+    byte_count: Optional[int] = None,
+    lower_address: int = 0,
+) -> Tlp:
+    """A CplD answering *request* (possibly one split of several)."""
+    return Tlp(
+        kind=TlpKind.COMPLETION_DATA,
+        addr=0,
+        length=len(data),
+        data=bytes(data),
+        requester=request.requester,
+        tag=request.tag,
+        byte_count=len(data) if byte_count is None else byte_count,
+        lower_address=lower_address,
+    )
+
+
+def completion_error(request: Tlp, status: CompletionStatus) -> Tlp:
+    """A no-data completion reporting an error for *request*."""
+    return Tlp(
+        kind=TlpKind.COMPLETION,
+        requester=request.requester,
+        tag=request.tag,
+        completion_status=status,
+    )
+
+
+def config_read(register: int, requester: str = "") -> Tlp:
+    """A CfgRd0 of one 32-bit register (register = byte offset / 4)."""
+    return Tlp(
+        kind=TlpKind.CONFIG_READ, addr=register, length=4, requester=requester, tag=next_tag()
+    )
+
+
+def config_write(register: int, data: bytes, requester: str = "") -> Tlp:
+    """A CfgWr0 of one 32-bit register."""
+    if len(data) != 4:
+        raise ValueError(f"config writes are 4 bytes, got {len(data)}")
+    return Tlp(
+        kind=TlpKind.CONFIG_WRITE,
+        addr=register,
+        length=4,
+        data=bytes(data),
+        requester=requester,
+        tag=next_tag(),
+    )
+
+
+# -- segmentation helpers --------------------------------------------------------
+
+
+def segment_write(
+    addr: int, data: bytes, max_payload: int, requester: str = ""
+) -> List[Tlp]:
+    """Split a write into MWr TLPs obeying Max_Payload_Size and 4 KiB
+    page-boundary rules."""
+    if max_payload <= 0:
+        raise ValueError(f"max_payload must be positive, got {max_payload}")
+    out: List[Tlp] = []
+    pos = 0
+    while pos < len(data):
+        boundary = 4096 - ((addr + pos) % 4096)
+        chunk = min(len(data) - pos, max_payload, boundary)
+        out.append(memory_write(addr + pos, data[pos : pos + chunk], requester=requester))
+        pos += chunk
+    return out
+
+
+def segment_read(
+    addr: int, length: int, max_read_request: int, requester: str = ""
+) -> List[Tlp]:
+    """Split a read into MRd TLPs obeying Max_Read_Request_Size and the
+    4 KiB boundary rule."""
+    if max_read_request <= 0:
+        raise ValueError(f"max_read_request must be positive, got {max_read_request}")
+    out: List[Tlp] = []
+    pos = 0
+    while pos < length:
+        boundary = 4096 - ((addr + pos) % 4096)
+        chunk = min(length - pos, max_read_request, boundary)
+        out.append(memory_read(addr + pos, chunk, requester=requester))
+        pos += chunk
+    return out
+
+
+def split_completion(
+    request: Tlp, data: bytes, rcb: int = 64
+) -> Iterator[Tlp]:
+    """Yield CplD TLPs for *data*, split at the Read Completion Boundary.
+
+    The first completion runs from the request address up to the next RCB
+    boundary; subsequent completions are full RCB chunks.  ``byte_count``
+    counts down the bytes remaining including the current completion, per
+    spec, so receivers can detect the final split.
+    """
+    if rcb <= 0 or rcb & (rcb - 1):
+        raise ValueError(f"rcb must be a power of two, got {rcb}")
+    total = len(data)
+    if total != request.length:
+        raise ValueError(f"completion data {total}B != requested {request.length}B")
+    pos = 0
+    addr = request.addr
+    while pos < total:
+        boundary = rcb - (addr % rcb)
+        chunk = min(total - pos, boundary)
+        yield completion_with_data(
+            request,
+            data[pos : pos + chunk],
+            byte_count=total - pos,
+            lower_address=addr & 0x7F,
+        )
+        pos += chunk
+        addr += chunk

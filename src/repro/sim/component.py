@@ -1,0 +1,94 @@
+"""Component base class: named model blocks in a hierarchy.
+
+Every hardware/OS model block derives from :class:`Component`, which
+provides the owning simulator, a hierarchical dotted name (used in trace
+records and error messages), the shared tracer, and a convenience random
+stream scoped to the component path.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, List, Optional
+
+import numpy as np
+
+from repro.sim.trace import NULL_TRACER, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+    from repro.sim.process import Process, ProcessGenerator
+
+
+class Component:
+    """A named block in the simulated system.
+
+    Parameters
+    ----------
+    sim:
+        The owning simulator.
+    name:
+        Leaf name of this component.
+    parent:
+        Optional parent component; the full path is ``parent.path + '.' +
+        name``.
+    tracer:
+        Trace sink; children inherit the parent's tracer by default.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        name: str,
+        parent: Optional["Component"] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        if not name:
+            raise ValueError("component name must be non-empty")
+        self.sim = sim
+        self.name = name
+        self.parent = parent
+        self.children: List[Component] = []
+        if tracer is not None:
+            self.tracer = tracer
+        elif parent is not None:
+            self.tracer = parent.tracer
+        else:
+            self.tracer = NULL_TRACER
+        if parent is not None:
+            parent.children.append(self)
+
+    @property
+    def path(self) -> str:
+        """Dotted hierarchical name, e.g. ``fpga.xdma.h2c0``."""
+        if self.parent is None:
+            return self.name
+        return f"{self.parent.path}.{self.name}"
+
+    def trace(self, kind: str, **detail: Any) -> None:
+        """Emit a trace record attributed to this component."""
+        self.tracer.emit(self.sim.now, self.path, kind, **detail)
+
+    def rng(self, stream: str = "") -> np.random.Generator:
+        """Random stream scoped to this component (plus optional suffix)."""
+        name = self.path if not stream else f"{self.path}.{stream}"
+        return self.sim.rng(name)
+
+    def spawn(self, body: "ProcessGenerator", name: str = "") -> "Process":
+        """Spawn a process attributed to this component."""
+        label = f"{self.path}.{name}" if name else self.path
+        return self.sim.spawn(body, name=label)
+
+    def find(self, path: str) -> "Component":
+        """Find a descendant by relative dotted path."""
+        node: Component = self
+        for part in path.split("."):
+            for child in node.children:
+                if child.name == part:
+                    node = child
+                    break
+            else:
+                raise KeyError(f"no child {part!r} under {node.path!r}")
+        return node
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.path!r}>"

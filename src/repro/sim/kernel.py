@@ -1,0 +1,210 @@
+"""The discrete-event simulation kernel.
+
+A minimal, deterministic event-driven kernel in the style of SimPy but
+specialized for this codebase:
+
+* integer-picosecond timestamps (see :mod:`repro.sim.time`),
+* a single binary-heap event queue with a monotonically increasing
+  sequence number as tie-breaker, so same-time events always run in
+  schedule order (full determinism across runs and platforms),
+* generator-based processes (:mod:`repro.sim.process`),
+* named, hierarchically seeded NumPy random streams so that adding a new
+  consumer of randomness never perturbs existing streams.
+
+The kernel is intentionally free of model knowledge; hardware and OS
+models live in higher layers and interact only through ``schedule``,
+``spawn``, events, and random streams.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.sim.event import Event, Timeout
+from repro.sim.process import Process, ProcessError, ProcessGenerator, process_name
+from repro.sim.time import SimTime
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel-level protocol violations."""
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Root seed for all random streams.  Two simulators constructed
+        with the same seed and driven by the same model code produce
+        bit-identical event orders and random draws.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._now: SimTime = 0
+        self._queue: List[Tuple[SimTime, int, Callable[..., None], tuple]] = []
+        self._seq = 0
+        self._seed = seed
+        self._seed_root = np.random.SeedSequence(seed)
+        self._rngs: Dict[str, np.random.Generator] = {}
+        self._pending_failure: Optional[ProcessError] = None
+        self._processes_spawned = 0
+        self._events_executed = 0
+
+    # -- time --------------------------------------------------------------
+
+    @property
+    def now(self) -> SimTime:
+        """Current simulation time in picoseconds."""
+        return self._now
+
+    @property
+    def seed(self) -> int:
+        """The root seed the simulator was constructed with."""
+        return self._seed
+
+    # -- scheduling ---------------------------------------------------------
+
+    def schedule(self, delay: SimTime, callback: Callable[..., None], *args: Any) -> None:
+        """Run ``callback(*args)`` after *delay* picoseconds."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, self._seq, callback, args))
+
+    def schedule_at(self, when: SimTime, callback: Callable[..., None], *args: Any) -> None:
+        """Run ``callback(*args)`` at absolute time *when*."""
+        self.schedule(when - self._now, callback, *args)
+
+    def timeout(self, delay: SimTime, value: Any = None, name: str = "") -> Timeout:
+        """An event that fires after *delay* picoseconds with *value*."""
+        ev = Timeout(delay, name=name)
+        self.schedule(delay, ev.trigger, value)
+        return ev
+
+    def event(self, name: str = "") -> Event:
+        """A fresh pending event."""
+        return Event(name=name)
+
+    # -- processes -----------------------------------------------------------
+
+    def spawn(self, body: ProcessGenerator, name: str = "") -> Process:
+        """Start a new process running *body* at the current time.
+
+        The first step of the body runs when the event loop reaches the
+        current timestamp, not synchronously inside ``spawn`` -- this
+        matches hardware semantics where a newly started FSM acts on the
+        next delta cycle.
+        """
+        proc = Process(self, body, name=name or process_name(body))
+        self._processes_spawned += 1
+        self.schedule(0, proc._start)
+        return proc
+
+    def _process_failed(self, error: ProcessError) -> None:
+        """Record a process failure; ``run`` re-raises on next iteration."""
+        if self._pending_failure is None:
+            self._pending_failure = error
+
+    # -- event loop ------------------------------------------------------------
+
+    def run(self, until: Optional[SimTime] = None, max_events: Optional[int] = None) -> SimTime:
+        """Execute events until the queue drains or *until* is reached.
+
+        Parameters
+        ----------
+        until:
+            Absolute stop time (inclusive of events at exactly *until*).
+        max_events:
+            Safety valve for runaway models; raises if exceeded.
+
+        Returns
+        -------
+        The simulation time when the loop stopped.
+        """
+        executed = 0
+        while self._queue:
+            if self._pending_failure is not None:
+                failure, self._pending_failure = self._pending_failure, None
+                raise failure
+            when = self._queue[0][0]
+            if until is not None and when > until:
+                self._now = until
+                break
+            _, _, callback, args = heapq.heappop(self._queue)
+            self._now = when
+            callback(*args)
+            executed += 1
+            self._events_executed += 1
+            if max_events is not None and executed > max_events:
+                raise SimulationError(f"exceeded max_events={max_events} at t={self._now}ps")
+        if self._pending_failure is not None:
+            failure, self._pending_failure = self._pending_failure, None
+            raise failure
+        if until is not None and self._now < until:
+            self._now = until
+        return self._now
+
+    def run_until_triggered(self, event: Event, limit: Optional[SimTime] = None) -> Any:
+        """Run until *event* fires; return its value.
+
+        Raises
+        ------
+        SimulationError
+            If the queue drains (or *limit* passes) with the event still
+            pending -- a deadlock in the model.
+        """
+        while not event.triggered:
+            if not self._queue:
+                raise SimulationError(f"deadlock: queue empty while waiting for {event!r}")
+            if limit is not None and self._queue[0][0] > limit:
+                raise SimulationError(f"timeout at {limit}ps waiting for {event!r}")
+            when = self._queue[0][0]
+            _, _, callback, args = heapq.heappop(self._queue)
+            self._now = when
+            callback(*args)
+            self._events_executed += 1
+            if self._pending_failure is not None:
+                failure, self._pending_failure = self._pending_failure, None
+                raise failure
+        return event.value
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events currently queued."""
+        return len(self._queue)
+
+    @property
+    def events_executed(self) -> int:
+        """Total events executed since construction (diagnostics)."""
+        return self._events_executed
+
+    # -- randomness ---------------------------------------------------------------
+
+    def rng(self, stream: str) -> np.random.Generator:
+        """Named random stream, derived deterministically from the root seed.
+
+        Each distinct *stream* name gets an independent generator seeded
+        from ``(root_seed, stream_name)``, so the draw sequence of one
+        stream is unaffected by how often other streams are used.
+        """
+        gen = self._rngs.get(stream)
+        if gen is None:
+            # Derive a child seed from the stream name so allocation order
+            # does not matter: hash the name into spawn-key material.
+            name_key = [b for b in stream.encode("utf-8")]
+            child = np.random.SeedSequence(
+                entropy=self._seed_root.entropy, spawn_key=tuple(name_key)
+            )
+            gen = np.random.default_rng(child)
+            self._rngs[stream] = gen
+        return gen
+
+    def __repr__(self) -> str:
+        return (
+            f"<Simulator t={self._now}ps queued={len(self._queue)} "
+            f"executed={self._events_executed} seed={self._seed}>"
+        )

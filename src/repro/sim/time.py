@@ -1,0 +1,142 @@
+"""Simulation time base.
+
+All simulation timestamps are **integer picoseconds**.  Integers keep the
+event queue exactly ordered and reproducible (no floating-point drift when
+summing many small delays), while 1 ps resolution is fine enough to express
+both the host's 1 ns ``clock_gettime`` resolution and the FPGA's 8 ns
+(125 MHz) performance-counter resolution without rounding.
+
+The module provides conversion helpers and a :class:`Frequency` type used
+by clocked components (e.g. the 125 MHz FPGA fabric clock).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: One picosecond (the base unit).
+PS = 1
+#: Picoseconds per nanosecond.
+NS = 1_000
+#: Picoseconds per microsecond.
+US = 1_000_000
+#: Picoseconds per millisecond.
+MS = 1_000_000_000
+#: Picoseconds per second.
+S = 1_000_000_000_000
+
+#: Type alias used throughout: a simulation timestamp/duration in ps.
+SimTime = int
+
+
+def ps(value: float) -> SimTime:
+    """Duration of *value* picoseconds."""
+    return round(value * PS)
+
+
+def ns(value: float) -> SimTime:
+    """Duration of *value* nanoseconds as integer picoseconds."""
+    return round(value * NS)
+
+
+def us(value: float) -> SimTime:
+    """Duration of *value* microseconds as integer picoseconds."""
+    return round(value * US)
+
+
+def ms(value: float) -> SimTime:
+    """Duration of *value* milliseconds as integer picoseconds."""
+    return round(value * MS)
+
+
+def seconds(value: float) -> SimTime:
+    """Duration of *value* seconds as integer picoseconds."""
+    return round(value * S)
+
+
+def to_ns(t: SimTime) -> float:
+    """Convert integer picoseconds to float nanoseconds."""
+    return t / NS
+
+
+def to_us(t: SimTime) -> float:
+    """Convert integer picoseconds to float microseconds."""
+    return t / US
+
+
+def to_ms(t: SimTime) -> float:
+    """Convert integer picoseconds to float milliseconds."""
+    return t / MS
+
+
+def to_seconds(t: SimTime) -> float:
+    """Convert integer picoseconds to float seconds."""
+    return t / S
+
+
+@dataclass(frozen=True)
+class Frequency:
+    """A clock frequency with exact integer-period arithmetic.
+
+    Parameters
+    ----------
+    hz:
+        Frequency in hertz.  Must divide 1e12 or the period is rounded to
+        the nearest picosecond (documented behaviour; all frequencies used
+        by the models -- 125 MHz, 250 MHz -- divide evenly).
+    """
+
+    hz: int
+
+    def __post_init__(self) -> None:
+        if self.hz <= 0:
+            raise ValueError(f"frequency must be positive, got {self.hz}")
+
+    @property
+    def period_ps(self) -> SimTime:
+        """Clock period in integer picoseconds (rounded to nearest)."""
+        return round(S / self.hz)
+
+    def cycles_to_time(self, cycles: int) -> SimTime:
+        """Duration of *cycles* clock cycles."""
+        if cycles < 0:
+            raise ValueError(f"cycle count must be non-negative, got {cycles}")
+        return cycles * self.period_ps
+
+    def time_to_cycles(self, t: SimTime) -> int:
+        """Whole clock cycles elapsed in duration *t* (floor division).
+
+        This mirrors how a free-running hardware counter quantizes time:
+        a duration shorter than one period reads as zero cycles.
+        """
+        if t < 0:
+            raise ValueError(f"duration must be non-negative, got {t}")
+        return t // self.period_ps
+
+    @classmethod
+    def mhz(cls, value: float) -> "Frequency":
+        """Construct from megahertz."""
+        return cls(round(value * 1_000_000))
+
+    @classmethod
+    def ghz(cls, value: float) -> "Frequency":
+        """Construct from gigahertz."""
+        return cls(round(value * 1_000_000_000))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.hz % 1_000_000_000 == 0:
+            return f"{self.hz // 1_000_000_000} GHz"
+        if self.hz % 1_000_000 == 0:
+            return f"{self.hz // 1_000_000} MHz"
+        return f"{self.hz} Hz"
+
+
+#: The FPGA fabric clock used by all designs in the paper (Section III-B):
+#: "The FPGA designs used for testing are running at 125MHz."
+FPGA_FABRIC_CLOCK = Frequency.mhz(125)
+
+#: Resolution of the FPGA hardware performance counters (8 ns at 125 MHz).
+HW_COUNTER_RESOLUTION = FPGA_FABRIC_CLOCK.period_ps
+
+#: Resolution of the host's CLOCK_MONOTONIC timer (Section III-B: 1 ns).
+HOST_TIMER_RESOLUTION = NS

@@ -1,0 +1,94 @@
+"""Structured event tracing.
+
+Components emit trace records (time, source, event kind, payload) into a
+:class:`Tracer`.  Traces serve three purposes:
+
+* debugging models ("what transactions did the DMA engine actually see"),
+* assertions in integration tests (e.g. "exactly one doorbell MMIO write
+  per VirtIO transfer"),
+* deriving measurement series without instrumenting model code twice.
+
+Tracing is off by default; a disabled tracer drops records at a cost of
+one predicate check, so hot paths can trace unconditionally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced occurrence."""
+
+    time: int
+    source: str
+    kind: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        extras = " ".join(f"{k}={v}" for k, v in self.detail.items())
+        return f"[{self.time:>14d}ps] {self.source:<28s} {self.kind:<24s} {extras}"
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` objects, optionally filtered."""
+
+    def __init__(self, enabled: bool = False, capacity: Optional[int] = None) -> None:
+        self.enabled = enabled
+        self.capacity = capacity
+        self._records: List[TraceRecord] = []
+        self._filters: List[Callable[[TraceRecord], bool]] = []
+
+    def add_filter(self, predicate: Callable[[TraceRecord], bool]) -> None:
+        """Only records matching every added predicate are kept."""
+        self._filters.append(predicate)
+
+    def emit(self, time: int, source: str, kind: str, **detail: Any) -> None:
+        """Record an occurrence (no-op when disabled or at capacity)."""
+        if not self.enabled:
+            return
+        if self.capacity is not None and len(self._records) >= self.capacity:
+            return
+        record = TraceRecord(time=time, source=source, kind=kind, detail=detail)
+        if all(f(record) for f in self._filters):
+            self._records.append(record)
+
+    @property
+    def records(self) -> List[TraceRecord]:
+        return self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def clear(self) -> None:
+        self._records.clear()
+
+    def query(self, source: Optional[str] = None, kind: Optional[str] = None) -> List[TraceRecord]:
+        """Records matching the given source and/or kind (prefix match on
+        source so hierarchical names like ``fpga.xdma.h2c`` can be scoped)."""
+        out = []
+        for r in self._records:
+            if source is not None and not r.source.startswith(source):
+                continue
+            if kind is not None and r.kind != kind:
+                continue
+            out.append(r)
+        return out
+
+    def count(self, source: Optional[str] = None, kind: Optional[str] = None) -> int:
+        """Number of matching records."""
+        return len(self.query(source=source, kind=kind))
+
+    def dump(self, limit: Optional[int] = None) -> str:
+        """Human-readable multi-line dump (for debugging sessions)."""
+        rows = self._records if limit is None else self._records[:limit]
+        return "\n".join(str(r) for r in rows)
+
+
+#: Shared do-nothing tracer used as a default argument.
+NULL_TRACER = Tracer(enabled=False)

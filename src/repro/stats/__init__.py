@@ -1,0 +1,21 @@
+"""Vectorized latency statistics."""
+
+from repro.stats.histogram import Histogram
+from repro.stats.percentile import (
+    TABLE1_PERCENTILES,
+    as_array,
+    percentile_us,
+    percentiles_us,
+    tail_ratio,
+)
+from repro.stats.summary import LatencySummary
+
+__all__ = [
+    "Histogram",
+    "LatencySummary",
+    "TABLE1_PERCENTILES",
+    "as_array",
+    "percentile_us",
+    "percentiles_us",
+    "tail_ratio",
+]

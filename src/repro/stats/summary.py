@@ -1,0 +1,61 @@
+"""Latency summaries: the numbers each figure/table consumes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.stats.percentile import TABLE1_PERCENTILES, as_array, percentiles_us
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Summary statistics of one latency series (all in microseconds,
+    like the paper's figures)."""
+
+    count: int
+    mean_us: float
+    std_us: float
+    min_us: float
+    median_us: float
+    p95_us: float
+    p99_us: float
+    p999_us: float
+    max_us: float
+
+    @classmethod
+    def from_ps(cls, samples: Sequence[int] | np.ndarray) -> "LatencySummary":
+        arr = as_array(samples)
+        tails = percentiles_us(arr, TABLE1_PERCENTILES)
+        return cls(
+            count=int(arr.size),
+            mean_us=float(arr.mean()) / 1e6,
+            std_us=float(arr.std(ddof=1)) / 1e6 if arr.size > 1 else 0.0,
+            min_us=float(arr.min()) / 1e6,
+            median_us=float(np.percentile(arr, 50.0)) / 1e6,
+            p95_us=tails[95.0],
+            p99_us=tails[99.0],
+            p999_us=tails[99.9],
+            max_us=float(arr.max()) / 1e6,
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean_us": self.mean_us,
+            "std_us": self.std_us,
+            "min_us": self.min_us,
+            "median_us": self.median_us,
+            "p95_us": self.p95_us,
+            "p99_us": self.p99_us,
+            "p999_us": self.p999_us,
+            "max_us": self.max_us,
+        }
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"n={self.count} mean={self.mean_us:.1f}us sd={self.std_us:.1f} "
+            f"p95={self.p95_us:.1f} p99={self.p99_us:.1f} p99.9={self.p999_us:.1f}"
+        )

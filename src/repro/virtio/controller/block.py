@@ -1,0 +1,133 @@
+"""VirtIO block device personality (one of the "more VirtIO device
+types" this paper adds support for).
+
+Queue map (VirtIO 1.2 section 5.2): a single requestq carrying combined
+chains: a 16-byte readable request header (type, reserved, sector), the
+data segments (readable for writes, writable for reads), and a final
+writable status byte.
+
+The storage medium is FPGA-attached DRAM (a ramdisk), with its access
+time charged per request -- exercising the :class:`FpgaDram` timing
+model and giving the block-device example realistic asymmetry between
+the PCIe transfer and the media access.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.mem.fpga_mem import FpgaDram
+from repro.mem.layout import read_u32, read_u64
+from repro.virtio.constants import (
+    VIRTIO_F_RING_INDIRECT_DESC,
+    VIRTIO_BLK_F_BLK_SIZE,
+    VIRTIO_BLK_F_FLUSH,
+    VIRTIO_BLK_F_SEG_MAX,
+    VIRTIO_BLK_S_IOERR,
+    VIRTIO_BLK_S_OK,
+    VIRTIO_BLK_S_UNSUPP,
+    VIRTIO_BLK_SECTOR_SIZE,
+    VIRTIO_BLK_T_FLUSH,
+    VIRTIO_BLK_T_IN,
+    VIRTIO_BLK_T_OUT,
+    VIRTIO_F_VERSION_1,
+)
+from repro.virtio.controller.personality import DevicePersonality
+from repro.virtio.controller.queue_engine import FetchedChain, QueueRole
+from repro.virtio.features import FeatureSet
+
+REQUESTQ = 0
+BLK_REQUEST_HEADER_SIZE = 16
+
+#: PCI class: mass storage / other.
+BLK_CLASS_CODE = 0x018000
+
+
+class VirtioBlockPersonality(DevicePersonality):
+    """virtio-blk backed by a DRAM ramdisk."""
+
+    device_id = 2  # VIRTIO_ID_BLOCK
+    class_code = BLK_CLASS_CODE
+    num_queues = 1
+
+    def __init__(self, capacity_sectors: int = 8192, blk_size: int = 512) -> None:
+        super().__init__()
+        if capacity_sectors <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity_sectors = capacity_sectors
+        self.blk_size = blk_size
+        self.media = FpgaDram(size=capacity_sectors * VIRTIO_BLK_SECTOR_SIZE, name="ramdisk")
+        self.reads = 0
+        self.writes = 0
+        self.flushes = 0
+        self.errors = 0
+
+    def queue_role(self, index: int) -> QueueRole:
+        if index == REQUESTQ:
+            return QueueRole.REQUEST
+        raise IndexError(f"virtio-blk has no queue {index}")
+
+    def offered_features(self) -> FeatureSet:
+        return FeatureSet.of(
+            VIRTIO_F_VERSION_1,
+            VIRTIO_F_RING_INDIRECT_DESC,
+            VIRTIO_BLK_F_SEG_MAX,
+            VIRTIO_BLK_F_BLK_SIZE,
+            VIRTIO_BLK_F_FLUSH,
+        )
+
+    def device_config_bytes(self) -> bytes:
+        """struct virtio_blk_config prefix: capacity u64, size_max u32,
+        seg_max u32, (geometry u32), blk_size u32."""
+        blob = bytearray(24)
+        blob[0:8] = self.capacity_sectors.to_bytes(8, "little")
+        blob[8:12] = (1 << 20).to_bytes(4, "little")  # size_max
+        blob[12:16] = (32).to_bytes(4, "little")  # seg_max
+        blob[20:24] = self.blk_size.to_bytes(4, "little")
+        return bytes(blob)
+
+    @staticmethod
+    def _status_reply(chain: FetchedChain, status: int) -> bytes:
+        """The status byte is the *last* writable byte of the chain, so
+        replies must pad any preceding data segments (their content is
+        undefined on error, per spec)."""
+        return bytes(chain.in_capacity - 1) + bytes([status])
+
+    def on_request_chain(
+        self, queue_index: int, chain: FetchedChain
+    ) -> Generator[Any, Any, bytes]:
+        device = self.device
+        assert device is not None
+        if len(chain.out_data) < BLK_REQUEST_HEADER_SIZE or not chain.in_segments:
+            self.errors += 1
+            return self._status_reply(chain, VIRTIO_BLK_S_IOERR)
+        req_type = read_u32(chain.out_data, 0)
+        sector = read_u64(chain.out_data, 8)
+        offset = sector * VIRTIO_BLK_SECTOR_SIZE
+
+        if req_type == VIRTIO_BLK_T_IN:
+            length = chain.in_capacity - 1  # last writable byte is status
+            if offset + length > self.media.size:
+                self.errors += 1
+                return self._status_reply(chain, VIRTIO_BLK_S_IOERR)
+            yield self.media.access_time(length)
+            self.reads += 1
+            return self.media.read(offset, length) + bytes([VIRTIO_BLK_S_OK])
+
+        if req_type == VIRTIO_BLK_T_OUT:
+            data = chain.out_data[BLK_REQUEST_HEADER_SIZE:]
+            if offset + len(data) > self.media.size:
+                self.errors += 1
+                return self._status_reply(chain, VIRTIO_BLK_S_IOERR)
+            yield self.media.access_time(len(data))
+            self.media.write(offset, data)
+            self.writes += 1
+            return bytes([VIRTIO_BLK_S_OK])
+
+        if req_type == VIRTIO_BLK_T_FLUSH:
+            yield device.fsm_time
+            self.flushes += 1
+            return bytes([VIRTIO_BLK_S_OK])
+
+        self.errors += 1
+        return self._status_reply(chain, VIRTIO_BLK_S_UNSUPP)

@@ -1,0 +1,254 @@
+"""The VirtIO configuration structures as FPGA control logic.
+
+Section II-C: "The VirtIO configuration structures are implemented as
+part of the control logic on the FPGA and are mapped to one of the base
+address registers (BAR) of the device."
+
+:class:`VirtioConfigBlock` renders the common configuration, notify
+region, ISR byte, and device-specific configuration into one
+:class:`~repro.fpga.registers.RegisterFile` at the offsets declared by a
+:class:`~repro.virtio.pci_transport.VirtioPciLayout`.  Register hooks
+call back into the owning :class:`VirtioFpgaDevice` (status transitions,
+queue doorbells) -- this file is pure register plumbing.
+
+Hardware registers are 32-bit with byte enables, so the sub-dword fields
+of ``virtio_pci_common_cfg`` (queue_select, device_status, ...) are
+packed into shared dwords whose hooks split them back out, exactly as
+the RTL implementation would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List
+
+from repro.fpga.registers import RegisterFile
+from repro.virtio.constants import VIRTIO_MSI_NO_VECTOR
+from repro.virtio.pci_transport import VirtioPciLayout
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.virtio.controller.device import VirtioFpgaDevice
+
+
+@dataclass
+class QueueState:
+    """Per-virtqueue device-side registers."""
+
+    index: int
+    max_size: int = 256
+    size: int = 256
+    msix_vector: int = VIRTIO_MSI_NO_VECTOR
+    enabled: bool = False
+    desc_addr: int = 0
+    driver_addr: int = 0  # avail ring
+    device_addr: int = 0  # used ring
+
+    @property
+    def notify_off(self) -> int:
+        """Each queue uses its own doorbell slot."""
+        return self.index
+
+    def reset(self) -> None:
+        self.size = self.max_size
+        self.msix_vector = VIRTIO_MSI_NO_VECTOR
+        self.enabled = False
+        self.desc_addr = 0
+        self.driver_addr = 0
+        self.device_addr = 0
+
+
+class VirtioConfigBlock:
+    """Builds and owns the VirtIO BAR register file."""
+
+    def __init__(self, device: "VirtioFpgaDevice", layout: VirtioPciLayout) -> None:
+        self.device = device
+        self.layout = layout
+        self.queues: List[QueueState] = [
+            QueueState(index=i, max_size=device.queue_max_size, size=device.queue_max_size)
+            for i in range(layout.num_queues)
+        ]
+        self._device_feature_select = 0
+        self._driver_feature_select = 0
+        self._msix_config = VIRTIO_MSI_NO_VECTOR
+        self._queue_select = 0
+        self._config_generation = 0
+        self._isr_status = 0
+        size = layout.bar_size
+        self.regs = RegisterFile(size, name=f"{device.name}.virtio-bar")
+        self._build_common()
+        self._build_isr()
+        self._build_notify()
+        self.refresh_device_config()
+
+    # -- selected queue ------------------------------------------------------------
+
+    @property
+    def selected(self) -> QueueState:
+        if self._queue_select < len(self.queues):
+            return self.queues[self._queue_select]
+        # Out-of-range selection reads back size 0, per spec.
+        return QueueState(index=self._queue_select, max_size=0, size=0)
+
+    def queue(self, index: int) -> QueueState:
+        return self.queues[index]
+
+    # -- common configuration -----------------------------------------------------------
+
+    def _build_common(self) -> None:
+        base = self.layout.common_offset
+        regs = self.regs
+
+        regs.reg(
+            "device_feature_select",
+            base + 0x00,
+            write_hook=lambda v: setattr(self, "_device_feature_select", v),
+        )
+        regs.reg(
+            "device_feature",
+            base + 0x04,
+            read_hook=lambda: self.device.offered_features.word(self._device_feature_select),
+            read_only=True,
+        )
+        regs.reg(
+            "driver_feature_select",
+            base + 0x08,
+            write_hook=lambda v: setattr(self, "_driver_feature_select", v),
+        )
+        regs.reg(
+            "driver_feature",
+            base + 0x0C,
+            write_hook=lambda v: self.device.set_driver_feature_word(
+                self._driver_feature_select, v
+            ),
+        )
+        regs.reg(
+            "msix_config_num_queues",
+            base + 0x10,
+            read_hook=lambda: (len(self.queues) << 16) | (self._msix_config & 0xFFFF),
+            write_hook=lambda v: setattr(self, "_msix_config", v & 0xFFFF),
+        )
+        regs.reg(
+            "status_generation_select",
+            base + 0x14,
+            read_hook=self._read_status_dword,
+            write_hook=self._write_status_dword,
+        )
+        regs.reg(
+            "queue_size_msix",
+            base + 0x18,
+            read_hook=lambda: (self.selected.msix_vector << 16) | self.selected.size,
+            write_hook=self._write_queue_size_msix,
+        )
+        regs.reg(
+            "queue_enable_notify",
+            base + 0x1C,
+            read_hook=lambda: (self.selected.notify_off << 16)
+            | (1 if self.selected.enabled else 0),
+            write_hook=self._write_queue_enable,
+        )
+        for name, attr, offset in (
+            ("queue_desc", "desc_addr", 0x20),
+            ("queue_driver", "driver_addr", 0x28),
+            ("queue_device", "device_addr", 0x30),
+        ):
+            regs.reg(
+                f"{name}_lo",
+                base + offset,
+                read_hook=lambda attr=attr: getattr(self.selected, attr) & 0xFFFF_FFFF,
+                write_hook=lambda v, attr=attr: self._write_addr(attr, v, high=False),
+            )
+            regs.reg(
+                f"{name}_hi",
+                base + offset + 4,
+                read_hook=lambda attr=attr: getattr(self.selected, attr) >> 32,
+                write_hook=lambda v, attr=attr: self._write_addr(attr, v, high=True),
+            )
+
+    def _read_status_dword(self) -> int:
+        return (
+            (self._queue_select << 16)
+            | (self._config_generation << 8)
+            | self.device.device_status
+        )
+
+    def _write_status_dword(self, value: int) -> None:
+        new_status = value & 0xFF
+        self._queue_select = (value >> 16) & 0xFFFF
+        if new_status != self.device.device_status:
+            self.device.on_status_write(new_status)
+
+    def _write_queue_size_msix(self, value: int) -> None:
+        queue = self.selected
+        if queue.index >= len(self.queues):
+            return
+        requested = value & 0xFFFF
+        if requested and requested <= queue.max_size and not requested & (requested - 1):
+            queue.size = requested
+        queue.msix_vector = (value >> 16) & 0xFFFF
+
+    def _write_queue_enable(self, value: int) -> None:
+        queue = self.selected
+        if queue.index >= len(self.queues):
+            return
+        queue.enabled = bool(value & 1)
+        if queue.enabled:
+            self.device.on_queue_enabled(queue.index)
+
+    def _write_addr(self, attr: str, value: int, high: bool) -> None:
+        queue = self.selected
+        if queue.index >= len(self.queues):
+            return
+        current = getattr(queue, attr)
+        if high:
+            setattr(queue, attr, (current & 0xFFFF_FFFF) | (value << 32))
+        else:
+            setattr(queue, attr, (current & ~0xFFFF_FFFF) | value)
+
+    # -- ISR status -----------------------------------------------------------------------
+
+    def _build_isr(self) -> None:
+        self.regs.reg(
+            "isr_status",
+            self.layout.isr_offset,
+            read_hook=self._read_isr,
+            read_only=True,
+        )
+
+    def _read_isr(self) -> int:
+        value, self._isr_status = self._isr_status, 0  # read-to-clear
+        return value
+
+    def set_isr(self, bits: int) -> None:
+        self._isr_status |= bits
+
+    # -- notify region ----------------------------------------------------------------------
+
+    def _build_notify(self) -> None:
+        for queue in self.queues:
+            offset = self.layout.notify_address_offset(queue.notify_off)
+            self.regs.reg(
+                f"notify_q{queue.index}",
+                offset & ~3,
+                write_hook=lambda v, idx=queue.index: self.device.on_notify(idx),
+            )
+
+    # -- device-specific configuration -----------------------------------------------------------
+
+    def refresh_device_config(self) -> None:
+        """(Re)render the personality's config bytes into the BAR and
+        bump the generation counter (drivers re-read on change)."""
+        blob = self.device.personality.device_config_bytes()
+        if len(blob) > self.layout.device_length:
+            raise ValueError(
+                f"device config of {len(blob)}B exceeds window {self.layout.device_length}B"
+            )
+        self.regs.scratch_write(self.layout.device_offset, blob)
+        self._config_generation = (self._config_generation + 1) & 0xFF
+
+    # -- reset ----------------------------------------------------------------------------------------
+
+    def reset_queues(self) -> None:
+        for queue in self.queues:
+            queue.reset()
+        self._queue_select = 0
+        self._isr_status = 0

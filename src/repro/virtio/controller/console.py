@@ -1,0 +1,90 @@
+"""VirtIO console personality (the device type implemented in [14]).
+
+Queue map (VirtIO 1.2 section 5.3.2): queue 0 = receiveq (device ->
+driver), queue 1 = transmitq (driver -> device).  The default behaviour
+echoes transmitted bytes back on the receive queue -- the loopback test
+the prior-work console device used.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from repro.virtio.constants import VIRTIO_CONSOLE_F_SIZE, VIRTIO_F_VERSION_1
+from repro.virtio.controller.personality import DevicePersonality
+from repro.virtio.controller.queue_engine import FetchedChain, QueueRole
+from repro.virtio.features import FeatureSet
+
+CONSOLE_RECEIVEQ = 0
+CONSOLE_TRANSMITQ = 1
+
+#: PCI class: simple communication controller / other.
+CONSOLE_CLASS_CODE = 0x078000
+
+
+class VirtioConsolePersonality(DevicePersonality):
+    """virtio-console with echo (or custom sink) semantics."""
+
+    device_id = 3  # VIRTIO_ID_CONSOLE
+    class_code = CONSOLE_CLASS_CODE
+    num_queues = 2
+
+    def __init__(
+        self,
+        cols: int = 80,
+        rows: int = 25,
+        echo: bool = True,
+        sink: Optional[Callable[[bytes], None]] = None,
+    ) -> None:
+        super().__init__()
+        self.cols = cols
+        self.rows = rows
+        self.echo = echo
+        self.sink = sink
+        self.bytes_from_host = 0
+        self.bytes_to_host = 0
+
+    def queue_role(self, index: int) -> QueueRole:
+        if index == CONSOLE_RECEIVEQ:
+            return QueueRole.IN
+        if index == CONSOLE_TRANSMITQ:
+            return QueueRole.OUT
+        raise IndexError(f"virtio-console has no queue {index}")
+
+    def offered_features(self) -> FeatureSet:
+        return FeatureSet.of(VIRTIO_F_VERSION_1, VIRTIO_CONSOLE_F_SIZE)
+
+    def device_config_bytes(self) -> bytes:
+        """struct virtio_console_config: cols u16, rows u16,
+        max_nr_ports u32, emerg_wr u32."""
+        blob = bytearray(12)
+        blob[0:2] = self.cols.to_bytes(2, "little")
+        blob[2:4] = self.rows.to_bytes(2, "little")
+        blob[4:8] = (1).to_bytes(4, "little")
+        return bytes(blob)
+
+    def on_out_chain(self, queue_index: int, chain: FetchedChain) -> Generator[Any, Any, None]:
+        device = self.device
+        assert device is not None
+        data = chain.out_data
+        self.bytes_from_host += len(data)
+        if self.sink is not None:
+            self.sink(data)
+        if self.echo:
+            device.spawn(self._echo(data), name="console-echo")
+        yield device.fsm_time
+
+    def _echo(self, data: bytes) -> Generator[Any, Any, None]:
+        device = self.device
+        assert device is not None
+        rx_engine = device.engines.get(CONSOLE_RECEIVEQ)
+        if rx_engine is None:
+            return
+        yield from rx_engine.deliver(data)
+        self.bytes_to_host += len(data)
+
+    def send_to_host(self, data: bytes) -> None:
+        """Inject device-originated output (e.g. a hardware log line)."""
+        device = self.device
+        assert device is not None
+        device.spawn(self._echo(data), name="console-send")

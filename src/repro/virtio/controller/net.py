@@ -1,0 +1,219 @@
+"""VirtIO network device personality (the paper's test case).
+
+Queue map (VirtIO 1.2 section 5.1.2): queue 0 = receiveq (device ->
+driver), queue 1 = transmitq (driver -> device); a control queue is
+exposed when VIRTIO_NET_F_CTRL_VQ is offered.
+
+Data path for the latency experiment:
+
+1. The driver kicks the transmitq; the TX engine fetches the chain and
+   its payload (virtio_net_hdr + Ethernet frame).
+2. If the header requests checksum offload (the host stack transmitted
+   CHECKSUM_PARTIAL because we offer VIRTIO_NET_F_CSUM), the user
+   logic's checksum engine fills the UDP checksum.
+3. The user logic processes the frame; for the echo responder it
+   produces a same-size UDP reply.
+4. The reply is delivered through the receiveq engine: DMA into a
+   prefetched RX buffer, used-ring update, MSI-X -- "it can identify an
+   available buffer and perform data movement before interrupting the
+   driver" (Section IV-A).
+
+Hardware performance counters (Section IV-B):
+
+* ``virtio_h2c`` -- notify doorbell to TX payload on-chip,
+* ``virtio_resp`` -- response generation by user logic (measured so the
+  experiment layer can *deduct* it, per the paper),
+* ``virtio_c2h`` -- response ready to used-ring/interrupt posted.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+from repro.fpga.user_logic import UserLogic
+from repro.virtio.constants import (
+    VIRTIO_F_VERSION_1,
+    VIRTIO_NET_F_CSUM,
+    VIRTIO_NET_F_CTRL_VQ,
+    VIRTIO_NET_F_GUEST_CSUM,
+    VIRTIO_NET_F_MAC,
+    VIRTIO_NET_F_MTU,
+    VIRTIO_NET_F_STATUS,
+    VIRTIO_NET_S_LINK_UP,
+)
+from repro.virtio.controller.personality import DevicePersonality
+from repro.virtio.controller.queue_engine import FetchedChain, QueueRole
+from repro.virtio.features import FeatureSet
+from repro.virtio.net_header import (
+    VIRTIO_NET_HDR_F_DATA_VALID,
+    VirtioNetHeader,
+    prepend_header,
+    strip_header,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.virtio.controller.device import VirtioFpgaDevice
+
+RECEIVEQ = 0
+TRANSMITQ = 1
+CTRLQ = 2
+
+#: PCI class: network / ethernet controller.
+NET_CLASS_CODE = 0x020000
+
+
+class VirtioNetPersonality(DevicePersonality):
+    """virtio-net with a pluggable user logic behind the queues."""
+
+    device_id = 1  # VIRTIO_ID_NET
+    class_code = NET_CLASS_CODE
+
+    def __init__(
+        self,
+        user_logic: UserLogic,
+        mac: bytes = b"\x52\x54\x00\xfa\xce\x01",
+        mtu: int = 1500,
+        offer_csum: bool = True,
+        offer_ctrl_vq: bool = False,
+    ) -> None:
+        super().__init__()
+        if len(mac) != 6:
+            raise ValueError("MAC must be 6 bytes")
+        self.user_logic = user_logic
+        self.mac = bytes(mac)
+        self.mtu = mtu
+        self.offer_csum = offer_csum
+        self.offer_ctrl_vq = offer_ctrl_vq
+        self.num_queues = 3 if offer_ctrl_vq else 2
+        self.frames_from_host = 0
+        self.frames_to_host = 0
+        self.csum_offloads = 0
+        #: RX-mode state driven by the control queue.
+        self.promiscuous = False
+        self.allmulti = False
+
+    # -- identity -----------------------------------------------------------------
+
+    def queue_role(self, index: int) -> QueueRole:
+        if index == RECEIVEQ:
+            return QueueRole.IN
+        if index == TRANSMITQ:
+            return QueueRole.OUT
+        if index == CTRLQ and self.offer_ctrl_vq:
+            return QueueRole.REQUEST
+        raise IndexError(f"virtio-net has no queue {index}")
+
+    def offered_features(self) -> FeatureSet:
+        features = FeatureSet.of(
+            VIRTIO_F_VERSION_1,
+            VIRTIO_NET_F_MAC,
+            VIRTIO_NET_F_MTU,
+            VIRTIO_NET_F_STATUS,
+            VIRTIO_NET_F_GUEST_CSUM,
+        )
+        if self.offer_csum:
+            features = features.with_bit(VIRTIO_NET_F_CSUM)
+        if self.offer_ctrl_vq:
+            features = features.with_bit(VIRTIO_NET_F_CTRL_VQ)
+        return features
+
+    def device_config_bytes(self) -> bytes:
+        """struct virtio_net_config: mac[6], status u16,
+        max_virtqueue_pairs u16, mtu u16."""
+        blob = bytearray(12)
+        blob[0:6] = self.mac
+        blob[6:8] = VIRTIO_NET_S_LINK_UP.to_bytes(2, "little")
+        blob[8:10] = (1).to_bytes(2, "little")
+        blob[10:12] = self.mtu.to_bytes(2, "little")
+        return bytes(blob)
+
+    # -- TX path -------------------------------------------------------------------------
+
+    def on_notify(self, queue_index: int) -> None:
+        """Start the H2C hardware counter at the TX doorbell ("the time
+        taken by the hardware to perform the DMA operation once a
+        notification is received", Section IV-B)."""
+        device = self.device
+        assert device is not None
+        if queue_index == TRANSMITQ and not device.perf.is_running("virtio_h2c"):
+            device.perf.start("virtio_h2c")
+
+    def on_out_chain(self, queue_index: int, chain: FetchedChain) -> Generator[Any, Any, None]:
+        device = self.device
+        assert device is not None
+        if queue_index == CTRLQ:
+            return  # control commands complete with no data work
+        self.frames_from_host += 1
+        header, frame = strip_header(chain.out_data)
+        if header.needs_csum:
+            # The checksum engine is hardware work: it stays inside the
+            # H2C performance-counter section so the Fig. 4 breakdown
+            # attributes it correctly.
+            self.csum_offloads += 1
+            frame = yield from self.user_logic.fill_checksum(
+                frame, header.csum_start, header.csum_offset
+            )
+        # TX payload is on-chip and ready for the user logic: the H2C
+        # hardware section ends here.
+        if device.perf.is_running("virtio_h2c"):
+            device.perf.stop("virtio_h2c")
+        device.perf.start("virtio_resp")
+        response = yield from self.user_logic.handle_frame(frame)
+        device.perf.stop("virtio_resp")
+        if response is not None:
+            # Response delivery runs as its own FSM so TX completion is
+            # not serialized behind it (separate pipeline stages in RTL).
+            device.spawn(self._deliver(response), name="net-deliver")
+
+    def _deliver(self, frame: bytes) -> Generator[Any, Any, None]:
+        device = self.device
+        assert device is not None
+        rx_engine = device.engines.get(RECEIVEQ)
+        if rx_engine is None:
+            return
+        accepted = device.accepted_features
+        flags = 0
+        if accepted.has(VIRTIO_NET_F_GUEST_CSUM):
+            flags |= VIRTIO_NET_HDR_F_DATA_VALID
+        buffer = prepend_header(frame, VirtioNetHeader(flags=flags, num_buffers=1))
+        device.perf.start("virtio_c2h")
+        yield from rx_engine.deliver(buffer)
+        device.perf.stop("virtio_c2h")
+        self.frames_to_host += 1
+
+    # -- control queue -----------------------------------------------------------------------
+
+    #: Control command classes/commands (VirtIO 1.2 section 5.1.6.5).
+    CTRL_RX = 0
+    CTRL_RX_PROMISC = 0
+    CTRL_RX_ALLMULTI = 1
+    CTRL_ACK_OK = 0x00
+    CTRL_ACK_ERR = 0x01
+
+    def on_request_chain(self, queue_index: int, chain: FetchedChain) -> Generator[Any, Any, bytes]:
+        """Control-queue commands: RX-mode commands update device state;
+        anything unrecognized is rejected with VIRTIO_NET_ERR."""
+        device = self.device
+        assert device is not None
+        yield device.fsm_time
+        command = chain.out_data
+        if len(command) < 2:
+            return bytes([self.CTRL_ACK_ERR])
+        cls, cmd = command[0], command[1]
+        if cls == self.CTRL_RX and cmd == self.CTRL_RX_PROMISC and len(command) >= 3:
+            self.promiscuous = bool(command[2])
+            device.trace("ctrl-promisc", enabled=self.promiscuous)
+            return bytes([self.CTRL_ACK_OK])
+        if cls == self.CTRL_RX and cmd == self.CTRL_RX_ALLMULTI and len(command) >= 3:
+            self.allmulti = bool(command[2])
+            return bytes([self.CTRL_ACK_OK])
+        return bytes([self.CTRL_ACK_ERR])
+
+    # -- host-injection API (examples/tests) ------------------------------------------------------
+
+    def inject_frame(self, frame: bytes) -> None:
+        """Deliver an externally generated frame to the host (as if it
+        arrived from the wire side of the NIC)."""
+        device = self.device
+        assert device is not None
+        device.spawn(self._deliver(frame), name="net-inject")

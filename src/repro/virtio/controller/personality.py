@@ -1,0 +1,88 @@
+"""Device personalities.
+
+"Apart from data structures common to all VirtIO devices such as common
+configuration and notification, a device specific data structure is
+required to function as a particular device type. ... The main
+modification to the design presented in [14] (to implement a VirtIO
+network device) is to implement the device-specific data structure. ...
+no modifications are necessary to the VirtIO controller as the design
+already supports a variable number of queues." (Section III-A)
+
+A :class:`DevicePersonality` supplies exactly those varying parts: the
+device type/class IDs, the offered feature bits, the device-specific
+configuration bytes, the queue count and roles, and the handling of
+driver-originated chains.  The controller core is personality-agnostic.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+from repro.virtio.controller.queue_engine import FetchedChain, QueueRole
+from repro.virtio.features import FeatureSet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.virtio.controller.device import VirtioFpgaDevice
+
+
+class DevicePersonality:
+    """Base class: one VirtIO device type."""
+
+    #: VirtIO device type (1 = net, 2 = block, 3 = console).
+    device_id: int = 0
+    #: PCI class code announced in config space.
+    class_code: int = 0
+    #: Number of virtqueues the device exposes.
+    num_queues: int = 0
+
+    def __init__(self) -> None:
+        self.device: "VirtioFpgaDevice | None" = None
+
+    def bind(self, device: "VirtioFpgaDevice") -> None:
+        """Called once by the owning device during construction."""
+        self.device = device
+
+    # -- identity / configuration ------------------------------------------------
+
+    def queue_role(self, index: int) -> QueueRole:
+        """Direction/semantics of queue *index*."""
+        raise NotImplementedError
+
+    def offered_features(self) -> FeatureSet:
+        """The device feature bits offered to the driver."""
+        raise NotImplementedError
+
+    def device_config_bytes(self) -> bytes:
+        """The device-specific configuration structure contents."""
+        raise NotImplementedError
+
+    # -- lifecycle hooks ------------------------------------------------------------
+
+    def on_reset(self) -> None:
+        """Device reset (status write of 0)."""
+
+    def on_driver_ok(self) -> None:
+        """Driver finished initialization (DRIVER_OK set)."""
+
+    def on_notify(self, queue_index: int) -> None:
+        """A doorbell landed for queue *queue_index* (called before the
+        engine is kicked; personalities use it to start hardware
+        performance counters)."""
+
+    # -- data path -------------------------------------------------------------------
+
+    def on_out_chain(
+        self, queue_index: int, chain: FetchedChain
+    ) -> Generator[Any, Any, None]:
+        """Handle a driver->device chain on an OUT queue (payload
+        already fetched on-chip in ``chain.out_data``)."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def on_request_chain(
+        self, queue_index: int, chain: FetchedChain
+    ) -> Generator[Any, Any, bytes]:
+        """Handle a REQUEST chain; return the bytes for the writable
+        segments (virtio-blk style)."""
+        raise NotImplementedError
+        yield  # pragma: no cover

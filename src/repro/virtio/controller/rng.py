@@ -1,0 +1,69 @@
+"""VirtIO entropy device (virtio-rng) personality.
+
+The spec's simplest device (VirtIO 1.2 section 5.4): one requestq on
+which the driver posts device-writable buffers; the device fills each
+with entropy and completes it.  Included as a fourth personality to
+demonstrate how little a new device type costs on this controller
+(Section III-A's point taken one device further than the paper).
+
+The "hardware entropy source" is a seeded xoshiro-class stream from the
+simulator (deterministic like everything else), produced at a
+configurable rate -- real TRNGs are slow, which is why the queue-based
+batching of virtio-rng matters.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.virtio.constants import VIRTIO_F_VERSION_1
+from repro.virtio.controller.personality import DevicePersonality
+from repro.virtio.controller.queue_engine import FetchedChain, QueueRole
+from repro.virtio.features import FeatureSet
+
+REQUESTQ = 0
+
+#: PCI class: encryption/decryption controller (other).
+RNG_CLASS_CODE = 0x108000
+
+
+class VirtioRngPersonality(DevicePersonality):
+    """virtio-rng backed by a rate-limited simulated entropy source."""
+
+    device_id = 4  # VIRTIO_ID_RNG
+    class_code = RNG_CLASS_CODE
+    num_queues = 1
+
+    def __init__(self, bits_per_second: float = 4e6) -> None:
+        super().__init__()
+        if bits_per_second <= 0:
+            raise ValueError("entropy rate must be positive")
+        self.bits_per_second = bits_per_second
+        self.bytes_served = 0
+
+    def queue_role(self, index: int) -> QueueRole:
+        if index == REQUESTQ:
+            return QueueRole.REQUEST
+        raise IndexError(f"virtio-rng has no queue {index}")
+
+    def offered_features(self) -> FeatureSet:
+        return FeatureSet.of(VIRTIO_F_VERSION_1)
+
+    def device_config_bytes(self) -> bytes:
+        return b""  # virtio-rng has no device-specific config
+
+    def _harvest_time(self, length: int) -> int:
+        """Picoseconds to accumulate *length* bytes of entropy."""
+        return round(length * 8 / self.bits_per_second * 1e12)
+
+    def on_request_chain(
+        self, queue_index: int, chain: FetchedChain
+    ) -> Generator[Any, Any, bytes]:
+        device = self.device
+        assert device is not None
+        length = chain.in_capacity
+        yield self._harvest_time(length)
+        entropy = device.rng("entropy").bytes(length)
+        self.bytes_served += length
+        device.trace("entropy-served", bytes=length)
+        return entropy

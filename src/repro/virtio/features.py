@@ -1,0 +1,112 @@
+"""Feature negotiation (VirtIO 1.2 sections 2.2, 3.1.1).
+
+"VirtIO also supports feature negotiation, i.e., the device and driver
+can use feature bits to determine the subset of supported features to
+ensure compatibility" (paper, Section I).
+
+The device *offers* a 64-bit feature set; the driver *accepts* the
+intersection with what it supports, writes it back, and sets
+FEATURES_OK; the device validates the result.  :class:`FeatureSet` is a
+small value type making the bit manipulation explicit and testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Tuple
+
+from repro.virtio.constants import VIRTIO_F_VERSION_1
+
+
+class FeatureNegotiationError(RuntimeError):
+    """Driver accepted features the device cannot honour, or dropped a
+    mandatory one."""
+
+
+@dataclass(frozen=True)
+class FeatureSet:
+    """An immutable 64-bit feature bitmap."""
+
+    bits: int = 0
+
+    def __post_init__(self) -> None:
+        if self.bits < 0 or self.bits >= 1 << 64:
+            raise ValueError(f"feature bits out of 64-bit range: {self.bits:#x}")
+
+    @classmethod
+    def of(cls, *feature_bits: int) -> "FeatureSet":
+        """Build from bit positions, e.g. ``FeatureSet.of(VIRTIO_F_VERSION_1)``."""
+        bits = 0
+        for bit in feature_bits:
+            if not 0 <= bit < 64:
+                raise ValueError(f"feature bit {bit} out of range")
+            bits |= 1 << bit
+        return cls(bits)
+
+    def has(self, bit: int) -> bool:
+        return bool(self.bits >> bit & 1)
+
+    def with_bit(self, bit: int) -> "FeatureSet":
+        return FeatureSet(self.bits | (1 << bit))
+
+    def without_bit(self, bit: int) -> "FeatureSet":
+        return FeatureSet(self.bits & ~(1 << bit))
+
+    def intersect(self, other: "FeatureSet") -> "FeatureSet":
+        return FeatureSet(self.bits & other.bits)
+
+    def union(self, other: "FeatureSet") -> "FeatureSet":
+        return FeatureSet(self.bits | other.bits)
+
+    def is_subset_of(self, other: "FeatureSet") -> bool:
+        return self.bits & ~other.bits == 0
+
+    def word(self, select: int) -> int:
+        """32-bit feature word *select* (the common-config window)."""
+        return (self.bits >> (32 * select)) & 0xFFFF_FFFF
+
+    @classmethod
+    def from_words(cls, words: Iterable[Tuple[int, int]]) -> "FeatureSet":
+        """Assemble from (select, word32) pairs."""
+        bits = 0
+        for select, word in words:
+            bits |= (word & 0xFFFF_FFFF) << (32 * select)
+        return cls(bits)
+
+    def __iter__(self) -> Iterator[int]:
+        """Iterate set bit positions."""
+        bits = self.bits
+        position = 0
+        while bits:
+            if bits & 1:
+                yield position
+            bits >>= 1
+            position += 1
+
+    def __repr__(self) -> str:
+        return f"FeatureSet({sorted(self)})"
+
+
+def negotiate(offered: FeatureSet, driver_supported: FeatureSet) -> FeatureSet:
+    """Driver-side negotiation: accept the intersection.
+
+    Raises if VIRTIO_F_VERSION_1 is not in the result -- both our device
+    models and modern Linux drivers require it (no legacy interface).
+    """
+    accepted = offered.intersect(driver_supported)
+    if not accepted.has(VIRTIO_F_VERSION_1):
+        raise FeatureNegotiationError(
+            "VIRTIO_F_VERSION_1 not negotiated: "
+            f"offered={offered!r} supported={driver_supported!r}"
+        )
+    return accepted
+
+
+def validate_accepted(offered: FeatureSet, accepted: FeatureSet) -> None:
+    """Device-side check at FEATURES_OK: the driver must not accept
+    anything the device did not offer."""
+    if not accepted.is_subset_of(offered):
+        extra = FeatureSet(accepted.bits & ~offered.bits)
+        raise FeatureNegotiationError(f"driver accepted unoffered features {extra!r}")
+    if not accepted.has(VIRTIO_F_VERSION_1):
+        raise FeatureNegotiationError("driver failed to accept VIRTIO_F_VERSION_1")

@@ -1,0 +1,80 @@
+"""struct virtio_net_hdr (VirtIO 1.2 section 5.1.6).
+
+Every frame crossing a virtio-net queue is prefixed by this 12-byte
+header (with VIRTIO_F_VERSION_1 the ``num_buffers`` field is always
+present).  The checksum-offload fields are what the paper's user logic
+consumes when checksum calculation is offloaded to the FPGA
+(Section III-A: "the FPGA could either send out a received Ethernet
+frame as is or perform additional tasks on behalf of the host, e.g., a
+checksum calculation").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mem.layout import read_u8, read_u16, write_u8, write_u16
+
+VIRTIO_NET_HDR_SIZE = 12
+
+# flags
+VIRTIO_NET_HDR_F_NEEDS_CSUM = 1
+VIRTIO_NET_HDR_F_DATA_VALID = 2
+
+# gso_type
+VIRTIO_NET_HDR_GSO_NONE = 0
+VIRTIO_NET_HDR_GSO_TCPV4 = 1
+VIRTIO_NET_HDR_GSO_UDP = 3
+
+
+@dataclass(frozen=True)
+class VirtioNetHeader:
+    """Decoded virtio-net header."""
+
+    flags: int = 0
+    gso_type: int = VIRTIO_NET_HDR_GSO_NONE
+    hdr_len: int = 0
+    gso_size: int = 0
+    csum_start: int = 0
+    csum_offset: int = 0
+    num_buffers: int = 1
+
+    def encode(self) -> bytes:
+        buf = bytearray(VIRTIO_NET_HDR_SIZE)
+        write_u8(buf, 0, self.flags)
+        write_u8(buf, 1, self.gso_type)
+        write_u16(buf, 2, self.hdr_len)
+        write_u16(buf, 4, self.gso_size)
+        write_u16(buf, 6, self.csum_start)
+        write_u16(buf, 8, self.csum_offset)
+        write_u16(buf, 10, self.num_buffers)
+        return bytes(buf)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "VirtioNetHeader":
+        if len(data) < VIRTIO_NET_HDR_SIZE:
+            raise ValueError(f"virtio_net_hdr needs {VIRTIO_NET_HDR_SIZE}B, got {len(data)}")
+        return cls(
+            flags=read_u8(data, 0),
+            gso_type=read_u8(data, 1),
+            hdr_len=read_u16(data, 2),
+            gso_size=read_u16(data, 4),
+            csum_start=read_u16(data, 6),
+            csum_offset=read_u16(data, 8),
+            num_buffers=read_u16(data, 10),
+        )
+
+    @property
+    def needs_csum(self) -> bool:
+        return bool(self.flags & VIRTIO_NET_HDR_F_NEEDS_CSUM)
+
+
+def strip_header(buffer: bytes) -> tuple[VirtioNetHeader, bytes]:
+    """Split a queued buffer into (header, frame)."""
+    return VirtioNetHeader.decode(buffer), buffer[VIRTIO_NET_HDR_SIZE:]
+
+
+def prepend_header(frame: bytes, header: VirtioNetHeader | None = None) -> bytes:
+    """Prefix *frame* with a (default) virtio-net header."""
+    hdr = header if header is not None else VirtioNetHeader()
+    return hdr.encode() + frame

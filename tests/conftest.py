@@ -1,0 +1,32 @@
+"""Shared fixtures.
+
+Booting a testbed (enumeration + driver probe) costs a few tens of
+milliseconds of wall time; integration tests that only *read* testbed
+state share module-scoped instances, while tests that mutate state
+build their own.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.kernel import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh deterministic simulator."""
+    return Simulator(seed=12345)
+
+
+def run_process(simulator: Simulator, generator, name: str = "test"):
+    """Spawn *generator* and run the simulation until it finishes;
+    returns the process result."""
+    process = simulator.spawn(generator, name=name)
+    return simulator.run_until_triggered(process)
+
+
+@pytest.fixture
+def run():
+    """The ``run_process`` helper as a fixture."""
+    return run_process

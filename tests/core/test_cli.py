@@ -1,0 +1,42 @@
+"""Tests for the CLI entry point."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_table1(self, capsys):
+        assert main(["table1", "--packets", "30", "--payloads", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "VirtIO" in out
+
+    def test_fig4(self, capsys):
+        assert main(["fig4", "--packets", "20", "--payloads", "64"]) == 0
+        assert "Figure 4" in capsys.readouterr().out
+
+    def test_fig5(self, capsys):
+        assert main(["fig5", "--packets", "20", "--payloads", "64"]) == 0
+        assert "Figure 5" in capsys.readouterr().out
+
+    def test_fig3(self, capsys):
+        assert main(["fig3", "--packets", "20", "--payloads", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out
+        assert "#" in out  # histogram bars
+
+    def test_claims(self, capsys):
+        assert main(["claims", "--packets", "30", "--payloads", "64"]) == 0
+        assert "claims" in capsys.readouterr().out.lower()
+
+    def test_seed_flag(self, capsys):
+        main(["table1", "--packets", "10", "--payloads", "64", "--seed", "9"])
+        first = capsys.readouterr().out
+        main(["table1", "--packets", "10", "--payloads", "64", "--seed", "9"])
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_unknown_artifact_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["bogus"])

@@ -1,0 +1,115 @@
+"""Tests for the experiment runners and sweep machinery (small packet
+counts; the full-scale claims run lives in test_paper_claims.py)."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.experiments import (
+    default_packets,
+    figure4,
+    figure5,
+    run_virtio_sweep,
+    run_xdma_sweep,
+)
+from repro.core.latency import run_latency_sweep, run_virtio_payload, run_xdma_payload
+from repro.core.testbed import build_virtio_testbed, build_xdma_testbed
+
+
+PACKETS = 60
+
+
+@pytest.fixture(scope="module")
+def virtio_sweep():
+    return run_virtio_sweep(payload_sizes=[64, 256], packets=PACKETS, seed=17)
+
+
+@pytest.fixture(scope="module")
+def xdma_sweep():
+    return run_xdma_sweep(payload_sizes=[64, 256], packets=PACKETS, seed=17)
+
+
+class TestSweeps:
+    def test_packet_counts(self, virtio_sweep, xdma_sweep):
+        for sweep in (virtio_sweep, xdma_sweep):
+            for payload in (64, 256):
+                assert sweep[payload].packets == PACKETS
+
+    def test_virtio_hw_series_align_with_packets(self, virtio_sweep):
+        result = virtio_sweep[64]
+        assert len(result.hw_ps) == len(result.rtt_ps) == len(result.resp_ps)
+
+    def test_xdma_resp_is_zero(self, xdma_sweep):
+        """The XDMA test has no response generation to deduct."""
+        assert (xdma_sweep[64].resp_ps == 0).all()
+
+    def test_virtio_resp_positive(self, virtio_sweep):
+        assert (virtio_sweep[64].resp_ps > 0).all()
+
+    def test_hw_grows_with_payload(self, virtio_sweep, xdma_sweep):
+        for sweep in (virtio_sweep, xdma_sweep):
+            assert sweep[256].hw_summary().mean_us > sweep[64].hw_summary().mean_us
+
+    def test_rtt_exceeds_hw(self, virtio_sweep):
+        result = virtio_sweep[64]
+        assert (result.rtt_ps > result.hw_ps).all()
+
+    def test_hw_quantized_to_8ns(self, virtio_sweep):
+        """Performance-counter readings are whole 125 MHz cycles."""
+        assert (virtio_sweep[64].hw_ps % 8000 == 0).all()
+
+    def test_dispatch_by_testbed_type(self):
+        virtio = build_virtio_testbed(seed=1)
+        sweep = run_latency_sweep(virtio, payload_sizes=[64], packets=10)
+        assert sweep.driver == "virtio"
+        xdma = build_xdma_testbed(seed=1)
+        sweep = run_latency_sweep(xdma, payload_sizes=[64], packets=10)
+        assert sweep.driver == "xdma"
+
+    def test_unknown_testbed_rejected(self):
+        with pytest.raises(TypeError):
+            run_latency_sweep(object(), payload_sizes=[64], packets=1)
+
+    def test_invalid_packet_count(self):
+        testbed = build_virtio_testbed(seed=1)
+        with pytest.raises(ValueError):
+            run_virtio_payload(testbed, 64, 0)
+
+
+class TestReproducibility:
+    def test_same_seed_identical_series(self):
+        a = run_virtio_sweep(payload_sizes=[64], packets=20, seed=5)
+        b = run_virtio_sweep(payload_sizes=[64], packets=20, seed=5)
+        assert np.array_equal(a[64].rtt_ps, b[64].rtt_ps)
+        assert np.array_equal(a[64].hw_ps, b[64].hw_ps)
+
+    def test_different_seeds_differ(self):
+        a = run_virtio_sweep(payload_sizes=[64], packets=20, seed=5)
+        b = run_virtio_sweep(payload_sizes=[64], packets=20, seed=6)
+        assert not np.array_equal(a[64].rtt_ps, b[64].rtt_ps)
+
+
+class TestArtifacts:
+    def test_figure4_text(self):
+        _, text = figure4(payload_sizes=[64], packets=20, seed=3)
+        assert "Figure 4" in text and "VirtIO" in text
+
+    def test_figure5_text(self):
+        _, text = figure5(payload_sizes=[64], packets=20, seed=3)
+        assert "Figure 5" in text and "XDMA" in text
+
+
+class TestDefaultPackets:
+    def test_fallback(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PACKETS", raising=False)
+        assert default_packets(1234) == 1234
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PACKETS", "777")
+        assert default_packets() == 777
+
+    def test_invalid_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PACKETS", "-1")
+        with pytest.raises(ValueError):
+            default_packets()

@@ -1,0 +1,112 @@
+"""Tests for result containers and breakdown derivation."""
+
+import numpy as np
+import pytest
+
+from repro.core.results import (
+    BreakdownRow,
+    ComparisonResult,
+    PayloadResult,
+    SweepResult,
+    breakdown_rows,
+    render_breakdown,
+)
+from repro.sim.time import us
+
+
+def make_payload_result(payload=64, n=100, rtt=30, hw=12, resp=2):
+    return PayloadResult(
+        payload=payload,
+        rtt_ps=np.full(n, us(rtt), dtype=np.int64),
+        hw_ps=np.full(n, us(hw), dtype=np.int64),
+        resp_ps=np.full(n, us(resp), dtype=np.int64),
+    )
+
+
+class TestPayloadResult:
+    def test_sw_derived(self):
+        result = make_payload_result(rtt=30, hw=12, resp=2)
+        assert result.sw_ps[0] == us(16)
+
+    def test_adjusted_rtt_deducts_response(self):
+        """Section IV-B: 'the time to generate the response packet is
+        also deducted from the latency measurement'."""
+        result = make_payload_result(rtt=30, resp=2)
+        assert result.adjusted_rtt_ps[0] == us(28)
+
+    def test_sw_clamped_at_zero(self):
+        result = make_payload_result(rtt=10, hw=12, resp=2)
+        assert (result.sw_ps == 0).all()
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            PayloadResult(
+                payload=64,
+                rtt_ps=np.zeros(5, dtype=np.int64),
+                hw_ps=np.zeros(4, dtype=np.int64),
+                resp_ps=np.zeros(5, dtype=np.int64),
+            )
+
+    def test_summaries(self):
+        result = make_payload_result()
+        assert result.rtt_summary().mean_us == pytest.approx(28.0)
+        assert result.hw_summary().mean_us == pytest.approx(12.0)
+        assert result.sw_summary().mean_us == pytest.approx(16.0)
+
+
+class TestSweepResult:
+    def test_add_and_order(self):
+        sweep = SweepResult(driver="virtio")
+        for payload in (1024, 64, 256):
+            sweep.add(make_payload_result(payload=payload))
+        assert sweep.payload_sizes() == [64, 256, 1024]
+
+    def test_summary_table_renders(self):
+        sweep = SweepResult(driver="virtio")
+        sweep.add(make_payload_result())
+        table = sweep.summary_table()
+        assert "virtio" in table
+        assert "64" in table
+
+
+class TestComparison:
+    def test_table1_layout(self):
+        comparison = ComparisonResult(
+            virtio=SweepResult(driver="virtio"),
+            xdma=SweepResult(driver="xdma"),
+        )
+        comparison.virtio.add(make_payload_result(rtt=28))
+        comparison.xdma.add(make_payload_result(rtt=40, resp=0))
+        text = comparison.table1()
+        assert "99.9%" in text
+        assert "VirtIO" in text and "XDMA" in text
+
+    def test_payload_sizes_intersection(self):
+        comparison = ComparisonResult(
+            virtio=SweepResult(driver="virtio"),
+            xdma=SweepResult(driver="xdma"),
+        )
+        comparison.virtio.add(make_payload_result(payload=64))
+        comparison.virtio.add(make_payload_result(payload=128))
+        comparison.xdma.add(make_payload_result(payload=64))
+        assert comparison.payload_sizes() == [64]
+
+
+class TestBreakdown:
+    def test_rows_from_sweep(self):
+        sweep = SweepResult(driver="virtio")
+        sweep.add(make_payload_result(rtt=30, hw=12, resp=2))
+        rows = breakdown_rows(sweep)
+        assert rows == [
+            BreakdownRow(payload=64, hw_mean_us=pytest.approx(12.0),
+                         hw_std_us=pytest.approx(0.0),
+                         sw_mean_us=pytest.approx(16.0),
+                         sw_std_us=pytest.approx(0.0))
+        ]
+
+    def test_render(self):
+        sweep = SweepResult(driver="xdma")
+        sweep.add(make_payload_result())
+        out = render_breakdown(sweep, "Figure 5")
+        assert "Figure 5" in out
+        assert "hw mean" in out

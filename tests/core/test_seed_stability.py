@@ -1,0 +1,45 @@
+"""Seed-stability: the reproduction's conclusions must not depend on
+the random seed (only the exact sample values may)."""
+
+import pytest
+
+from repro.core.experiments import run_comparison
+
+PACKETS = 350
+PAYLOADS = (64, 1024)
+
+
+@pytest.fixture(scope="module", params=[7, 1234, 987654])
+def comparison(request):
+    return run_comparison(payload_sizes=PAYLOADS, packets=PACKETS, seed=request.param)
+
+
+class TestSeedStability:
+    def test_virtio_wins_p95(self, comparison):
+        for payload in PAYLOADS:
+            virtio = comparison.virtio[payload].tail_latencies_us()[95.0]
+            xdma = comparison.xdma[payload].tail_latencies_us()[95.0]
+            assert virtio < xdma
+
+    def test_dispersion_ordering(self, comparison):
+        import numpy as np
+
+        for payload in PAYLOADS:
+            v = comparison.virtio[payload].adjusted_rtt_ps
+            x = comparison.xdma[payload].adjusted_rtt_ps
+            v_spread = np.percentile(v, 90) - np.percentile(v, 10)
+            x_spread = np.percentile(x, 90) - np.percentile(x, 10)
+            assert v_spread < x_spread
+
+    def test_breakdown_structure(self, comparison):
+        for payload in PAYLOADS:
+            v = comparison.virtio[payload]
+            x = comparison.xdma[payload]
+            assert v.hw_summary().mean_us > v.sw_summary().mean_us
+            assert x.sw_summary().mean_us > x.hw_summary().mean_us
+
+    def test_means_within_calibrated_band(self, comparison):
+        """Absolute means stay in the calibrated range across seeds."""
+        for payload, low, high in ((64, 25, 50), (1024, 40, 75)):
+            v_mean = comparison.virtio[payload].rtt_summary().mean_us
+            assert low < v_mean < high

@@ -1,0 +1,95 @@
+"""Unit-level tests of the XDMA character-device driver behaviour."""
+
+import pytest
+
+from repro.core.testbed import build_xdma_testbed
+from repro.host.chardev import sys_read, sys_write
+from repro.sim.process import ProcessError
+from repro.sim.trace import Tracer
+
+
+class TestDriverMmioSequence:
+    def test_write_issues_three_mmio_writes_to_engine(self):
+        """Per transfer: descriptor lo, descriptor hi, control(run) --
+        the multi-write programming VirtIO replaces with one doorbell."""
+        tracer = Tracer(enabled=True)
+        testbed = build_xdma_testbed(seed=3, tracer=tracer)
+        tracer.clear()
+
+        def app():
+            yield from sys_write(testbed.kernel, testbed.driver, b"x" * 64)
+
+        process = testbed.sim.spawn(app())
+        testbed.sim.run_until_triggered(process)
+        testbed.sim.run()
+        # MWr TLPs toward the device during one H2C transfer: 3 to
+        # program/start + 1 to clear the run bit.
+        writes = [
+            r for r in tracer.query(kind="tlp-tx")
+            if r.detail.get("tlp") == "MWr" and r.source.endswith("down")
+        ]
+        assert len(writes) == 4
+
+    def test_isr_performs_status_reads(self):
+        """The interrupt handler's two non-posted register reads."""
+        tracer = Tracer(enabled=True)
+        testbed = build_xdma_testbed(seed=3, tracer=tracer)
+        tracer.clear()
+
+        def app():
+            yield from sys_write(testbed.kernel, testbed.driver, b"x" * 64)
+
+        process = testbed.sim.spawn(app())
+        testbed.sim.run_until_triggered(process)
+        testbed.sim.run()
+        reads = [
+            r for r in tracer.query(kind="tlp-tx")
+            if r.detail.get("tlp") == "MRd" and r.source.endswith("down")
+        ]
+        assert len(reads) == 2  # status + completed count
+
+
+class TestDriverValidation:
+    def test_oversized_write_rejected(self):
+        testbed = build_xdma_testbed(seed=3)
+
+        def app():
+            yield from sys_write(testbed.kernel, testbed.driver, bytes((1 << 20) + 1))
+
+        process = testbed.sim.spawn(app())
+        with pytest.raises(ProcessError):
+            testbed.sim.run_until_triggered(process)
+
+    def test_zero_read_rejected(self):
+        testbed = build_xdma_testbed(seed=3)
+
+        def app():
+            yield from sys_read(testbed.kernel, testbed.driver, 0)
+
+        process = testbed.sim.spawn(app())
+        with pytest.raises(ProcessError):
+            testbed.sim.run_until_triggered(process)
+
+
+class TestInterleaving:
+    def test_concurrent_h2c_and_c2h(self):
+        """The two channels are independent engines; a writer and a
+        reader can be in flight simultaneously."""
+        testbed = build_xdma_testbed(seed=4)
+        testbed.xdma.axi_write(0, b"R" * 64)
+        results = {}
+
+        def writer():
+            yield from sys_write(testbed.kernel, testbed.driver, b"W" * 64)
+            results["write"] = testbed.sim.now
+
+        def reader():
+            data = yield from sys_read(testbed.kernel, testbed.driver, 64)
+            results["read_data"] = data
+            results["read"] = testbed.sim.now
+
+        testbed.sim.spawn(reader())
+        testbed.sim.spawn(writer())
+        testbed.sim.run()
+        assert "write" in results and "read" in results
+        assert len(results["read_data"]) == 64

@@ -1,0 +1,124 @@
+"""Tests for the user-logic blocks (echo responder, checksum engine)."""
+
+import pytest
+
+from repro.core.calibration import FPGA_IP, HOST_IP
+from repro.fpga.user_logic import EchoUserLogic, SinkUserLogic, streaming_cycles
+from repro.host.netstack import (
+    ETH_HEADER_SIZE,
+    ETH_P_IP,
+    EthernetFrame,
+    IP_HEADER_SIZE,
+    Ipv4Header,
+    IPPROTO_UDP,
+    UdpHeader,
+    udp_checksum_valid,
+    udp_datagram,
+)
+
+
+def make_udp_frame(payload: bytes, checksum: bool = True) -> bytes:
+    datagram = udp_datagram(HOST_IP, FPGA_IP, 5555, 7, payload, compute_checksum=checksum)
+    ip = Ipv4Header(
+        src=HOST_IP, dst=FPGA_IP, protocol=IPPROTO_UDP,
+        total_length=IP_HEADER_SIZE + len(datagram),
+    )
+    frame = EthernetFrame(
+        dst=b"\x52\x54\x00\x00\x00\x02",
+        src=b"\x02\x00\x00\x00\x00\x01",
+        ethertype=ETH_P_IP,
+        payload=ip.encode() + datagram,
+    )
+    return frame.encode(pad=False)
+
+
+class TestEchoUserLogic:
+    def run_echo(self, sim, frame):
+        logic = EchoUserLogic(sim)
+        proc = sim.spawn(logic.handle_frame(frame))
+        return logic, sim.run_until_triggered(proc)
+
+    def test_response_same_size(self, sim):
+        frame = make_udp_frame(b"x" * 100)
+        _, reply = self.run_echo(sim, frame)
+        assert len(reply) == len(frame)
+
+    def test_addresses_swapped(self, sim):
+        frame = make_udp_frame(b"ping")
+        _, reply = self.run_echo(sim, frame)
+        eth = EthernetFrame.decode(reply)
+        original = EthernetFrame.decode(frame)
+        assert eth.dst == original.src and eth.src == original.dst
+        ip = Ipv4Header.decode(eth.payload)
+        assert ip.src == FPGA_IP and ip.dst == HOST_IP
+
+    def test_ports_swapped(self, sim):
+        frame = make_udp_frame(b"ping")
+        _, reply = self.run_echo(sim, frame)
+        ip_payload = EthernetFrame.decode(reply).payload
+        udp = UdpHeader.decode(ip_payload[IP_HEADER_SIZE:])
+        assert (udp.src_port, udp.dst_port) == (7, 5555)
+
+    def test_payload_preserved(self, sim):
+        payload = bytes(range(64))
+        frame = make_udp_frame(payload)
+        _, reply = self.run_echo(sim, frame)
+        ip_payload = EthernetFrame.decode(reply).payload
+        assert ip_payload[IP_HEADER_SIZE + 8 : IP_HEADER_SIZE + 8 + 64] == payload
+
+    def test_reply_checksums_valid(self, sim):
+        frame = make_udp_frame(b"checksummed payload")
+        _, reply = self.run_echo(sim, frame)
+        eth = EthernetFrame.decode(reply)
+        ip = Ipv4Header.decode(eth.payload)
+        assert ip.header_valid(eth.payload)
+        datagram = eth.payload[IP_HEADER_SIZE : ip.total_length]
+        assert udp_checksum_valid(ip.src, ip.dst, datagram)
+
+    def test_non_ip_ignored(self, sim):
+        frame = EthernetFrame(
+            dst=b"\xff" * 6, src=b"\x02" * 6, ethertype=0x0806, payload=bytes(46)
+        ).encode()
+        _, reply = self.run_echo(sim, frame)
+        assert reply is None
+
+    def test_consumes_fabric_time_proportional_to_size(self, sim):
+        logic = EchoUserLogic(sim)
+        t0 = sim.now
+        proc = sim.spawn(logic.handle_frame(make_udp_frame(b"x" * 64)))
+        sim.run_until_triggered(proc)
+        small = sim.now - t0
+        t1 = sim.now
+        proc = sim.spawn(logic.handle_frame(make_udp_frame(b"x" * 1024)))
+        sim.run_until_triggered(proc)
+        large = sim.now - t1
+        assert large > small * 3
+
+
+class TestChecksumOffload:
+    def test_fill_checksum_produces_valid_udp(self, sim):
+        frame = make_udp_frame(b"offload me", checksum=False)
+        logic = EchoUserLogic(sim)
+        proc = sim.spawn(
+            logic.fill_checksum(frame, ETH_HEADER_SIZE + IP_HEADER_SIZE, 6)
+        )
+        patched = sim.run_until_triggered(proc)
+        eth = EthernetFrame.decode(patched)
+        ip = Ipv4Header.decode(eth.payload)
+        datagram = eth.payload[IP_HEADER_SIZE : ip.total_length]
+        assert UdpHeader.decode(datagram).checksum != 0
+        assert udp_checksum_valid(ip.src, ip.dst, datagram)
+
+
+class TestSinkUserLogic:
+    def test_no_response(self, sim):
+        logic = SinkUserLogic(sim)
+        proc = sim.spawn(logic.handle_frame(make_udp_frame(b"data")))
+        assert sim.run_until_triggered(proc) is None
+        assert logic.frames_received == 1
+
+
+class TestStreamingCycles:
+    def test_fixed_plus_per_byte(self):
+        assert streaming_cycles(0) == 4
+        assert streaming_cycles(10) == 14

@@ -1,0 +1,68 @@
+"""Tests for the XDMA engine's poll-mode writeback (the interrupt-free
+completion path the real driver offers as an alternative)."""
+
+import pytest
+
+from repro.fpga.xdma import XdmaCore, XdmaDescriptor, regs
+from repro.mem.dma import DmaAllocator
+from repro.mem.fpga_mem import Bram
+from repro.pcie.enumeration import enumerate_all
+from repro.pcie.root_complex import RootComplex
+
+
+@pytest.fixture
+def system(sim):
+    rc = RootComplex(sim)
+    msis = []
+    rc.set_msi_handler(lambda a, d: msis.append(d))
+    _, link = rc.create_port()
+    core = XdmaCore(sim, link)
+    core.attach_axi(0, Bram(64 << 10))
+    boot = sim.spawn(enumerate_all(rc))
+    function = sim.run_until_triggered(boot)[0]
+    return dict(sim=sim, rc=rc, core=core, bar1=function.bars[1].address,
+                msis=msis, alloc=DmaAllocator(rc.host_memory))
+
+
+class TestPollModeWriteback:
+    def test_completed_count_written_to_host(self, system):
+        sim, rc, alloc = system["sim"], system["rc"], system["alloc"]
+        bar1 = system["bar1"]
+        wb = alloc.alloc(8)
+        desc_buf = alloc.alloc(32)
+        src = alloc.alloc(64)
+        desc_buf.write(XdmaDescriptor(src_addr=src.addr, dst_addr=0, length=64).encode())
+
+        base = bar1 + regs.H2C_CHANNEL_BASE
+        rc.mmio_write(base + regs.CHAN_POLL_MODE_WB_LO,
+                      (wb.addr & 0xFFFFFFFF).to_bytes(4, "little"))
+        rc.mmio_write(base + regs.CHAN_POLL_MODE_WB_HI,
+                      (wb.addr >> 32).to_bytes(4, "little"))
+        sgdma = bar1 + regs.H2C_SGDMA_BASE
+        rc.mmio_write(sgdma + regs.SGDMA_DESC_LO,
+                      (desc_buf.addr & 0xFFFFFFFF).to_bytes(4, "little"))
+        rc.mmio_write(sgdma + regs.SGDMA_DESC_HI,
+                      (desc_buf.addr >> 32).to_bytes(4, "little"))
+        control = regs.CTRL_RUN | regs.CTRL_POLLMODE_WB_ENABLE
+        rc.mmio_write(base + regs.CHAN_CONTROL, control.to_bytes(4, "little"))
+        sim.run()
+        # The driver can poll host memory instead of taking an IRQ.
+        assert int.from_bytes(wb.read(0, 4), "little") == 1
+        assert system["msis"] == []  # interrupt enables were not set
+
+    def test_without_wb_enable_nothing_written(self, system):
+        sim, rc, alloc = system["sim"], system["rc"], system["alloc"]
+        bar1 = system["bar1"]
+        wb = alloc.alloc(8)
+        desc_buf = alloc.alloc(32)
+        src = alloc.alloc(64)
+        desc_buf.write(XdmaDescriptor(src_addr=src.addr, dst_addr=0, length=64).encode())
+        base = bar1 + regs.H2C_CHANNEL_BASE
+        rc.mmio_write(base + regs.CHAN_POLL_MODE_WB_LO,
+                      (wb.addr & 0xFFFFFFFF).to_bytes(4, "little"))
+        sgdma = bar1 + regs.H2C_SGDMA_BASE
+        rc.mmio_write(sgdma + regs.SGDMA_DESC_LO,
+                      (desc_buf.addr & 0xFFFFFFFF).to_bytes(4, "little"))
+        rc.mmio_write(base + regs.CHAN_CONTROL, regs.CTRL_RUN.to_bytes(4, "little"))
+        sim.run()
+        assert wb.read(0, 4) == bytes(4)

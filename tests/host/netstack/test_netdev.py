@@ -1,0 +1,45 @@
+"""Tests for the NetDevice abstraction itself."""
+
+import pytest
+
+from repro.host.kernel import HostKernel
+from repro.host.netstack.netdev import FEATURE_HW_CSUM, NetDevice
+from repro.host.netstack.skb import Skb
+from repro.pcie.root_complex import RootComplex
+
+
+@pytest.fixture
+def kernel(sim):
+    return HostKernel(sim, RootComplex(sim))
+
+
+class TestNetDevice:
+    def test_bad_mac_rejected(self, kernel):
+        with pytest.raises(ValueError):
+            NetDevice(kernel, "eth0", b"\x00\x01")
+
+    def test_features(self, kernel):
+        device = NetDevice(kernel, "eth0", b"\x02" * 6, features={FEATURE_HW_CSUM})
+        assert device.has_feature(FEATURE_HW_CSUM)
+        assert not device.has_feature("tso")
+
+    def test_xmit_without_hook_rejected(self, kernel, sim, run):
+        device = NetDevice(kernel, "eth0", b"\x02" * 6)
+        with pytest.raises(Exception):
+            run(sim, device.start_xmit(Skb(data=b"frame")))
+
+    def test_xmit_counts_and_tags(self, kernel, sim, run):
+        device = NetDevice(kernel, "eth0", b"\x02" * 6)
+        seen = []
+
+        def xmit(skb):
+            seen.append(skb)
+            yield 0
+
+        device.set_xmit(xmit)
+        run(sim, device.start_xmit(Skb(data=b"frame")))
+        assert device.tx_packets == 1
+        assert seen[0].device == "eth0"
+
+    def test_mtu_default(self, kernel):
+        assert NetDevice(kernel, "eth0", b"\x02" * 6).mtu == 1500

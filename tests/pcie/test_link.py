@@ -1,0 +1,114 @@
+"""Tests for link timing and FIFO ordering."""
+
+import pytest
+
+from repro.pcie.link import PAPER_LINK, LinkConfig, PcieLink
+from repro.pcie.tlp import memory_write
+from repro.sim.time import ns
+
+
+class TestLinkConfig:
+    def test_gen2_x2_bandwidth(self):
+        """Gen2 x2: 5 GT/s * 2 lanes * 0.8 (8b/10b) / 8 = 1 GB/s before
+        DLLP overhead."""
+        config = LinkConfig(generation=2, lanes=2, dllp_efficiency=1.0)
+        assert config.bytes_per_second == pytest.approx(1e9)
+
+    def test_gen1_half_of_gen2(self):
+        gen1 = LinkConfig(generation=1, lanes=2)
+        gen2 = LinkConfig(generation=2, lanes=2)
+        assert gen2.bytes_per_second == pytest.approx(2 * gen1.bytes_per_second)
+
+    def test_gen3_uses_128b130b(self):
+        config = LinkConfig(generation=3, lanes=1, dllp_efficiency=1.0)
+        assert config.bytes_per_second == pytest.approx(8e9 * 128 / 130 / 8)
+
+    def test_serialization_time_proportional(self):
+        config = LinkConfig(generation=2, lanes=2)
+        assert config.serialization_time(2000) == pytest.approx(
+            2 * config.serialization_time(1000), abs=1
+        )
+
+    def test_paper_link_is_gen2_x2(self):
+        assert PAPER_LINK.generation == 2
+        assert PAPER_LINK.lanes == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkConfig(generation=7)
+        with pytest.raises(ValueError):
+            LinkConfig(lanes=3)
+        with pytest.raises(ValueError):
+            LinkConfig(max_payload=100)
+        with pytest.raises(ValueError):
+            LinkConfig(dllp_efficiency=0)
+        with pytest.raises(ValueError):
+            LinkConfig(propagation_ns=-1)
+
+
+class TestLinkTransmission:
+    def make(self, sim):
+        config = LinkConfig(generation=2, lanes=2, propagation_ns=100)
+        link = PcieLink(sim, config)
+        self.arrived = []
+        link.attach_endpoint_rx(lambda tlp: self.arrived.append((sim.now, tlp)))
+        link.attach_root_rx(lambda tlp: None)
+        return link, config
+
+    def test_delivery_after_serialization_plus_propagation(self, sim):
+        link, config = self.make(sim)
+        tlp = memory_write(0x0, b"x" * 100)
+        link.send_downstream(tlp)
+        sim.run()
+        expected = config.serialization_time(tlp.wire_bytes) + ns(100)
+        assert self.arrived[0][0] == expected
+
+    def test_fifo_ordering_preserved(self, sim):
+        link, _ = self.make(sim)
+        first = memory_write(0x0, b"a" * 512)
+        second = memory_write(0x1000, b"b" * 4)
+        link.send_downstream(first)
+        link.send_downstream(second)
+        sim.run()
+        assert [t.addr for _, t in self.arrived] == [0x0, 0x1000]
+
+    def test_second_tlp_waits_for_first_serialization(self, sim):
+        link, config = self.make(sim)
+        first = memory_write(0x0, b"a" * 1000)
+        second = memory_write(0x1000, b"b")
+        link.send_downstream(first)
+        link.send_downstream(second)
+        sim.run()
+        gap = self.arrived[1][0] - self.arrived[0][0]
+        assert gap == config.serialization_time(second.wire_bytes)
+
+    def test_delivery_event_fires(self, sim):
+        link, _ = self.make(sim)
+        done = link.send_downstream(memory_write(0, b"x"))
+        assert not done.triggered
+        sim.run()
+        assert done.triggered
+
+    def test_directions_independent(self, sim):
+        config = LinkConfig(propagation_ns=50)
+        link = PcieLink(sim, config)
+        down, up = [], []
+        link.attach_endpoint_rx(lambda t: down.append(sim.now))
+        link.attach_root_rx(lambda t: up.append(sim.now))
+        link.send_downstream(memory_write(0, b"x" * 1024))
+        link.send_upstream(memory_write(0, b"y"))
+        sim.run()
+        # The small upstream TLP is not delayed by the big downstream one.
+        assert up[0] < down[0]
+
+    def test_unattached_direction_rejected(self, sim):
+        link = PcieLink(sim, LinkConfig())
+        with pytest.raises(RuntimeError):
+            link.send_downstream(memory_write(0, b"x"))
+
+    def test_statistics(self, sim):
+        link, _ = self.make(sim)
+        link.send_downstream(memory_write(0, b"x" * 10))
+        sim.run()
+        assert link.downstream.tlps_sent == 1
+        assert link.downstream.bytes_sent > 10

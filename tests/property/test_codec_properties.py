@@ -1,0 +1,100 @@
+"""Property-based tests on the wire codecs (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fpga.xdma.descriptor import XdmaDescriptor
+from repro.host.netstack.checksum import internet_checksum, verify_checksum
+from repro.host.netstack.ethernet import EthernetFrame
+from repro.host.netstack.ip import Ipv4Header
+from repro.host.netstack.udp import udp_checksum_valid, udp_datagram
+from repro.virtio.net_header import VirtioNetHeader
+from repro.virtio.virtqueue import VirtqDescriptor
+
+ips = st.integers(min_value=0, max_value=0xFFFF_FFFF)
+ports = st.integers(min_value=0, max_value=0xFFFF)
+macs = st.binary(min_size=6, max_size=6)
+u16 = st.integers(min_value=0, max_value=0xFFFF)
+addr64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+class TestChecksumProperties:
+    @given(st.binary(min_size=0, max_size=2048))
+    def test_data_plus_checksum_verifies(self, data):
+        """RFC 1071 invariant: appending the checksum makes the ones'
+        complement sum all-ones."""
+        csum = internet_checksum(data if len(data) % 2 == 0 else data + b"\x00")
+        padded = data if len(data) % 2 == 0 else data + b"\x00"
+        assert verify_checksum(padded + csum.to_bytes(2, "big"))
+
+    @given(st.binary(min_size=2, max_size=512), st.integers(0, 511))
+    def test_single_byte_corruption_detected(self, data, position):
+        """The internet checksum catches all single-byte errors."""
+        if len(data) % 2:
+            data += b"\x00"
+        position %= len(data)
+        csum = internet_checksum(data)
+        corrupted = bytearray(data)
+        corrupted[position] ^= 0x55
+        if bytes(corrupted) != data:
+            assert internet_checksum(bytes(corrupted)) != csum
+
+
+class TestUdpProperties:
+    @given(ips, ips, ports, ports, st.binary(max_size=1400))
+    @settings(max_examples=50)
+    def test_datagram_always_validates(self, src, dst, sport, dport, payload):
+        datagram = udp_datagram(src, dst, sport, dport, payload)
+        assert udp_checksum_valid(src, dst, datagram)
+
+
+class TestFrameProperties:
+    @given(macs, macs, u16, st.binary(max_size=1500))
+    @settings(max_examples=50)
+    def test_ethernet_roundtrip(self, dst, src, ethertype, payload):
+        frame = EthernetFrame(dst=dst, src=src, ethertype=ethertype, payload=payload)
+        decoded = EthernetFrame.decode(frame.encode(pad=False))
+        assert decoded == frame
+
+    @given(ips, ips, st.integers(0, 255), st.integers(20, 65535), u16)
+    @settings(max_examples=50)
+    def test_ipv4_roundtrip_and_checksum(self, src, dst, proto, total, ident):
+        header = Ipv4Header(src=src, dst=dst, protocol=proto, total_length=total,
+                            identification=ident)
+        raw = header.encode()
+        decoded = Ipv4Header.decode(raw)
+        assert (decoded.src, decoded.dst, decoded.protocol) == (src, dst, proto)
+        assert decoded.header_valid(raw)
+
+
+class TestDescriptorProperties:
+    @given(
+        addr64, addr64,
+        st.integers(min_value=1, max_value=(1 << 28) - 1),
+        st.booleans(), st.booleans(), st.booleans(),
+        st.integers(0, 63), addr64,
+    )
+    @settings(max_examples=100)
+    def test_xdma_descriptor_roundtrip(self, src, dst, length, stop, eop, irq,
+                                       adj, next_addr):
+        desc = XdmaDescriptor(
+            src_addr=src, dst_addr=dst, length=length, stop=stop, eop=eop,
+            completed_irq=irq, nxt_adj=adj, next_addr=next_addr,
+        )
+        assert XdmaDescriptor.decode(desc.encode()) == desc
+
+    @given(addr64, st.integers(0, 0xFFFF_FFFF), st.integers(0, 7), u16)
+    @settings(max_examples=100)
+    def test_virtq_descriptor_roundtrip(self, addr, length, flags, next_index):
+        desc = VirtqDescriptor(addr=addr, length=length, flags=flags,
+                               next_index=next_index)
+        assert VirtqDescriptor.decode(desc.encode()) == desc
+
+    @given(st.integers(0, 255), st.integers(0, 255), u16, u16, u16, u16, u16)
+    @settings(max_examples=100)
+    def test_virtio_net_header_roundtrip(self, flags, gso, hdr_len, gso_size,
+                                         cstart, coff, nbuf):
+        header = VirtioNetHeader(flags=flags, gso_type=gso, hdr_len=hdr_len,
+                                 gso_size=gso_size, csum_start=cstart,
+                                 csum_offset=coff, num_buffers=nbuf)
+        assert VirtioNetHeader.decode(header.encode()) == header

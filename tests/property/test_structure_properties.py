@@ -1,0 +1,212 @@
+"""Property-based tests on core data structures and invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.dma import DmaAllocator
+from repro.mem.physical import PhysicalMemory
+from repro.pcie.tlp import segment_read, segment_write, split_completion, memory_read
+from repro.sim.kernel import Simulator
+from repro.sim.random import LatencyModel
+from repro.virtio.features import FeatureSet
+from repro.virtio.virtqueue import DriverVirtqueue, ring_layout
+
+
+class TestSegmentationProperties:
+    @given(
+        st.integers(min_value=0, max_value=1 << 40),
+        st.binary(min_size=1, max_size=4096),
+        st.sampled_from([128, 256, 512]),
+    )
+    @settings(max_examples=100)
+    def test_write_segmentation_covers_exactly(self, addr, data, mps):
+        tlps = segment_write(addr, data, mps)
+        assert b"".join(t.data for t in tlps) == data
+        # Contiguous, non-overlapping coverage:
+        position = addr
+        for tlp in tlps:
+            assert tlp.addr == position
+            assert tlp.length <= mps
+            # No TLP crosses a 4 KiB boundary:
+            assert (tlp.addr % 4096) + tlp.length <= 4096
+            position += tlp.length
+
+    @given(
+        st.integers(min_value=0, max_value=1 << 40),
+        st.integers(min_value=1, max_value=8192),
+        st.sampled_from([128, 512]),
+    )
+    @settings(max_examples=100)
+    def test_read_segmentation_covers_exactly(self, addr, length, mrrs):
+        tlps = segment_read(addr, length, mrrs)
+        assert sum(t.length for t in tlps) == length
+        position = addr
+        for tlp in tlps:
+            assert tlp.addr == position
+            assert (tlp.addr % 4096) + tlp.length <= 4096
+            position += tlp.length
+
+    @given(
+        st.integers(min_value=0, max_value=4096),
+        st.integers(min_value=1, max_value=1024),
+    )
+    @settings(max_examples=100)
+    def test_completion_split_reassembles(self, addr, length):
+        request = memory_read(addr, length)
+        data = bytes(i & 0xFF for i in range(length))
+        completions = list(split_completion(request, data))
+        assert b"".join(c.data for c in completions) == data
+        assert completions[0].byte_count == length
+        assert completions[-1].byte_count == completions[-1].length
+
+
+class TestFeatureSetProperties:
+    bits = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+    @given(bits)
+    def test_word_decomposition_reassembles(self, value):
+        fs = FeatureSet(value)
+        rebuilt = FeatureSet.from_words([(0, fs.word(0)), (1, fs.word(1))])
+        assert rebuilt == fs
+
+    @given(bits, bits)
+    def test_intersection_is_subset_of_both(self, a, b):
+        fa, fb = FeatureSet(a), FeatureSet(b)
+        inter = fa.intersect(fb)
+        assert inter.is_subset_of(fa)
+        assert inter.is_subset_of(fb)
+
+    @given(bits)
+    def test_iteration_matches_has(self, value):
+        fs = FeatureSet(value)
+        assert all(fs.has(bit) for bit in fs)
+        assert sum(1 << bit for bit in fs) == value
+
+
+class TestVirtqueueProperties:
+    @given(st.sampled_from([4, 8, 16]), st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_descriptor_accounting_balances(self, size, data):
+        """add_buffer/get_used never leaks or double-frees descriptors."""
+        mem = PhysicalMemory()
+        alloc = DmaAllocator(mem)
+        _, _, _, total = ring_layout(size)
+        vq = DriverVirtqueue(0, size, alloc.alloc(total, 4096))
+        used_idx = 0
+        outstanding = []
+        for _ in range(30):
+            if outstanding and (vq.num_free == 0 or data.draw(st.booleans())):
+                head = outstanding.pop(0)
+                elem = head.to_bytes(4, "little") + bytes(4)
+                mem.write(vq.addresses.used_entry_addr(used_idx), elem)
+                used_idx = (used_idx + 1) & 0xFFFF
+                mem.write(vq.addresses.used_idx_addr, used_idx.to_bytes(2, "little"))
+                assert vq.get_used().head == head
+            else:
+                segments = data.draw(st.integers(1, min(3, vq.num_free)))
+                head = vq.add_buffer([(0x1000 * (i + 1), 64) for i in range(segments)], [])
+                vq.publish()
+                outstanding.append(head)
+        assert vq.num_free + sum(
+            vq._chain_lengths[h] for h in outstanding
+        ) == size
+
+
+class TestLatencyModelProperties:
+    @given(
+        st.integers(min_value=0, max_value=10**9),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=0.5),
+        st.integers(min_value=0, max_value=10**8),
+    )
+    @settings(max_examples=50)
+    def test_samples_nonnegative_ints(self, nominal, sigma, tail_prob, tail_scale):
+        rng = Simulator(seed=1).rng("p")
+        model = LatencyModel(
+            nominal_ps=nominal, jitter_sigma=sigma, tail_prob=tail_prob,
+            tail_scale_ps=tail_scale,
+        )
+        for _ in range(5):
+            value = model.sample(rng)
+            assert isinstance(value, int)
+            assert value >= 0
+
+    @given(st.integers(min_value=1, max_value=10**9))
+    def test_deterministic_model_exact(self, nominal):
+        rng = Simulator(seed=1).rng("p")
+        model = LatencyModel(nominal_ps=nominal)
+        assert model.sample(rng) == nominal
+
+
+class TestPhysicalMemoryProperties:
+    @given(
+        st.integers(min_value=0, max_value=(1 << 30)),
+        st.binary(min_size=1, max_size=10000),
+    )
+    @settings(max_examples=50)
+    def test_write_read_roundtrip_any_alignment(self, addr, data):
+        mem = PhysicalMemory()
+        mem.write(addr, data)
+        assert mem.read(addr, len(data)) == data
+
+    @given(st.integers(min_value=0, max_value=1 << 30), st.binary(min_size=1, max_size=64))
+    @settings(max_examples=50)
+    def test_disjoint_writes_do_not_interfere(self, addr, data):
+        mem = PhysicalMemory()
+        mem.write(addr, data)
+        mem.write(addr + len(data), b"\xee" * 16)
+        assert mem.read(addr, len(data)) == data
+
+
+class TestIndirectDescriptorProperties:
+    from hypothesis import strategies as _st
+
+    segments = _st.lists(
+        _st.tuples(
+            _st.integers(min_value=0x1000, max_value=1 << 40),
+            _st.integers(min_value=1, max_value=1 << 20),
+        ),
+        min_size=0,
+        max_size=4,
+    )
+
+    @given(segments, segments)
+    @settings(max_examples=50, deadline=None)
+    def test_indirect_table_is_decodable_chain(self, out_segs, in_segs):
+        """The table written by add_buffer_indirect is a valid sequential
+        chain: readable segments first, then writable, NEXT flags linking
+        all but the last entry."""
+        from hypothesis import assume
+        from repro.virtio.virtqueue import (
+            VIRTQ_DESC_F_INDIRECT,
+            VIRTQ_DESC_F_NEXT,
+            VIRTQ_DESC_F_WRITE,
+            VirtqDescriptor,
+            ring_layout,
+        )
+
+        assume(out_segs or in_segs)
+        mem = PhysicalMemory()
+        alloc = DmaAllocator(mem)
+        _, _, _, total = ring_layout(8)
+        vq_buffer = alloc.alloc(total, 4096)
+        from repro.virtio.virtqueue import DriverVirtqueue
+
+        vq = DriverVirtqueue(0, 8, vq_buffer)
+        table = alloc.alloc(16 * (len(out_segs) + len(in_segs)))
+        head = vq.add_buffer_indirect(out_segs, in_segs, table)
+
+        ring_desc = vq.read_descriptor(head)
+        assert ring_desc.flags == VIRTQ_DESC_F_INDIRECT
+        assert ring_desc.addr == table.addr
+        count = ring_desc.length // 16
+        assert count == len(out_segs) + len(in_segs)
+
+        raw = table.read(0, ring_desc.length)
+        for position in range(count):
+            desc = VirtqDescriptor.decode(raw[position * 16 : position * 16 + 16])
+            expected_write = position >= len(out_segs)
+            assert bool(desc.flags & VIRTQ_DESC_F_WRITE) == expected_write
+            assert bool(desc.flags & VIRTQ_DESC_F_NEXT) == (position < count - 1)
+            if position < count - 1:
+                assert desc.next_index == position + 1

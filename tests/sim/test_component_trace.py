@@ -1,0 +1,105 @@
+"""Tests for the component hierarchy and tracer."""
+
+import pytest
+
+from repro.sim.component import Component
+from repro.sim.trace import Tracer
+
+
+class TestComponent:
+    def test_path_is_hierarchical(self, sim):
+        root = Component(sim, "fpga")
+        child = Component(sim, "xdma", parent=root)
+        leaf = Component(sim, "h2c0", parent=child)
+        assert leaf.path == "fpga.xdma.h2c0"
+
+    def test_children_registered(self, sim):
+        root = Component(sim, "root")
+        child = Component(sim, "child", parent=root)
+        assert child in root.children
+
+    def test_find_descendant(self, sim):
+        root = Component(sim, "root")
+        child = Component(sim, "a", parent=root)
+        Component(sim, "b", parent=child)
+        assert root.find("a.b").path == "root.a.b"
+        with pytest.raises(KeyError):
+            root.find("a.missing")
+
+    def test_tracer_inherited_from_parent(self, sim):
+        tracer = Tracer(enabled=True)
+        root = Component(sim, "root", tracer=tracer)
+        child = Component(sim, "child", parent=root)
+        assert child.tracer is tracer
+
+    def test_rng_scoped_to_path(self, sim):
+        a = Component(sim, "a")
+        b = Component(sim, "b")
+        assert a.rng().random() != b.rng().random()
+
+    def test_empty_name_rejected(self, sim):
+        with pytest.raises(ValueError):
+            Component(sim, "")
+
+
+class TestTracer:
+    def test_disabled_tracer_drops(self, sim):
+        tracer = Tracer(enabled=False)
+        comp = Component(sim, "c", tracer=tracer)
+        comp.trace("event", x=1)
+        assert len(tracer) == 0
+
+    def test_enabled_tracer_records(self, sim):
+        tracer = Tracer(enabled=True)
+        comp = Component(sim, "c", tracer=tracer)
+        comp.trace("event", x=1)
+        assert len(tracer) == 1
+        record = tracer.records[0]
+        assert record.source == "c"
+        assert record.kind == "event"
+        assert record.detail == {"x": 1}
+
+    def test_query_by_source_prefix(self, sim):
+        tracer = Tracer(enabled=True)
+        root = Component(sim, "fpga", tracer=tracer)
+        child = Component(sim, "xdma", parent=root)
+        child.trace("a")
+        root.trace("b")
+        assert tracer.count(source="fpga.xdma") == 1
+        assert tracer.count(source="fpga") == 2
+
+    def test_query_by_kind(self, sim):
+        tracer = Tracer(enabled=True)
+        comp = Component(sim, "c", tracer=tracer)
+        comp.trace("x")
+        comp.trace("y")
+        comp.trace("x")
+        assert tracer.count(kind="x") == 2
+
+    def test_capacity_cap(self, sim):
+        tracer = Tracer(enabled=True, capacity=2)
+        comp = Component(sim, "c", tracer=tracer)
+        for _ in range(5):
+            comp.trace("e")
+        assert len(tracer) == 2
+
+    def test_filters(self, sim):
+        tracer = Tracer(enabled=True)
+        tracer.add_filter(lambda r: r.kind != "noise")
+        comp = Component(sim, "c", tracer=tracer)
+        comp.trace("noise")
+        comp.trace("signal")
+        assert [r.kind for r in tracer] == ["signal"]
+
+    def test_records_carry_time(self, sim):
+        tracer = Tracer(enabled=True)
+        comp = Component(sim, "c", tracer=tracer)
+        sim.schedule(1000, comp.trace, "later")
+        sim.run()
+        assert tracer.records[0].time == 1000
+
+    def test_clear(self, sim):
+        tracer = Tracer(enabled=True)
+        Component(sim, "c", tracer=tracer).trace("e")
+        tracer.clear()
+        assert len(tracer) == 0

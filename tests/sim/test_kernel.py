@@ -1,0 +1,159 @@
+"""Tests for the event loop and process scheduling."""
+
+import numpy as np
+import pytest
+
+from repro.sim.kernel import SimulationError, Simulator
+from repro.sim.process import ProcessError
+from repro.sim.time import ns
+
+
+class TestScheduling:
+    def test_callbacks_run_in_time_order(self, sim):
+        order = []
+        sim.schedule(ns(30), order.append, 3)
+        sim.schedule(ns(10), order.append, 1)
+        sim.schedule(ns(20), order.append, 2)
+        sim.run()
+        assert order == [1, 2, 3]
+
+    def test_same_time_runs_in_schedule_order(self, sim):
+        order = []
+        for i in range(5):
+            sim.schedule(ns(10), order.append, i)
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_now_advances(self, sim):
+        stamps = []
+        sim.schedule(ns(5), lambda: stamps.append(sim.now))
+        sim.schedule(ns(9), lambda: stamps.append(sim.now))
+        sim.run()
+        assert stamps == [ns(5), ns(9)]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-1, lambda: None)
+
+    def test_schedule_at_absolute(self, sim):
+        hit = []
+        sim.schedule(ns(3), lambda: sim.schedule_at(ns(10), lambda: hit.append(sim.now)))
+        sim.run()
+        assert hit == [ns(10)]
+
+    def test_run_until_stops_at_boundary(self, sim):
+        hit = []
+        sim.schedule(ns(5), hit.append, "early")
+        sim.schedule(ns(50), hit.append, "late")
+        sim.run(until=ns(10))
+        assert hit == ["early"]
+        assert sim.now == ns(10)
+        sim.run()
+        assert hit == ["early", "late"]
+
+    def test_max_events_guard(self, sim):
+        def rearm():
+            sim.schedule(1, rearm)
+
+        sim.schedule(0, rearm)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+
+
+class TestProcesses:
+    def test_process_yields_delay(self, sim):
+        marks = []
+
+        def body():
+            marks.append(sim.now)
+            yield ns(100)
+            marks.append(sim.now)
+
+        sim.spawn(body())
+        sim.run()
+        assert marks == [0, ns(100)]
+
+    def test_process_returns_value(self, sim, run):
+        def body():
+            yield ns(1)
+            return "done"
+
+        assert run(sim, body()) == "done"
+
+    def test_process_waits_event(self, sim):
+        result = []
+
+        def waiter(ev):
+            value = yield ev
+            result.append(value)
+
+        ev = sim.event()
+        sim.spawn(waiter(ev))
+        sim.schedule(ns(50), ev.trigger, "ping")
+        sim.run()
+        assert result == ["ping"]
+
+    def test_join_returns_child_result(self, sim, run):
+        def child():
+            yield ns(10)
+            return 99
+
+        def parent():
+            value = yield sim.spawn(child())
+            return value
+
+        assert run(sim, parent()) == 99
+
+    def test_exception_propagates_with_name(self, sim):
+        def bad():
+            yield ns(1)
+            raise ValueError("boom")
+
+        sim.spawn(bad(), name="badproc")
+        with pytest.raises(ProcessError, match="badproc"):
+            sim.run()
+
+    def test_bad_yield_type_fails(self, sim):
+        def bad():
+            yield "not a wait target"
+
+        sim.spawn(bad())
+        with pytest.raises(ProcessError):
+            sim.run()
+
+    def test_timeout_event(self, sim, run):
+        def body():
+            value = yield sim.timeout(ns(25), value="tick")
+            return (sim.now, value)
+
+        assert run(sim, body()) == (ns(25), "tick")
+
+    def test_run_until_triggered_detects_deadlock(self, sim):
+        ev = sim.event()
+        with pytest.raises(SimulationError, match="deadlock"):
+            sim.run_until_triggered(ev)
+
+
+class TestRandomStreams:
+    def test_same_seed_same_draws(self):
+        a = Simulator(seed=99).rng("x").random(5)
+        b = Simulator(seed=99).rng("x").random(5)
+        assert np.allclose(a, b)
+
+    def test_different_streams_independent(self):
+        sim = Simulator(seed=99)
+        a = sim.rng("a").random(5)
+        b = sim.rng("b").random(5)
+        assert not np.allclose(a, b)
+
+    def test_stream_unaffected_by_other_stream_usage(self):
+        sim1 = Simulator(seed=5)
+        sim1.rng("noise").random(1000)
+        a = sim1.rng("target").random(3)
+        sim2 = Simulator(seed=5)
+        b = sim2.rng("target").random(3)
+        assert np.allclose(a, b)
+
+    def test_stream_is_cached(self):
+        sim = Simulator(seed=1)
+        assert sim.rng("s") is sim.rng("s")

@@ -1,0 +1,92 @@
+"""Tests for the simulation time base."""
+
+import pytest
+
+from repro.sim.time import (
+    FPGA_FABRIC_CLOCK,
+    HOST_TIMER_RESOLUTION,
+    HW_COUNTER_RESOLUTION,
+    Frequency,
+    ms,
+    ns,
+    ps,
+    seconds,
+    to_ms,
+    to_ns,
+    to_seconds,
+    to_us,
+    us,
+)
+
+
+class TestConversions:
+    def test_nanoseconds_are_thousand_picoseconds(self):
+        assert ns(1) == 1_000
+
+    def test_microseconds(self):
+        assert us(1) == 1_000_000
+
+    def test_milliseconds(self):
+        assert ms(2) == 2_000_000_000
+
+    def test_seconds(self):
+        assert seconds(1) == 10**12
+
+    def test_fractional_values_round(self):
+        assert ns(1.5) == 1_500
+        assert ps(0.4) == 0
+        assert ps(0.6) == 1
+
+    def test_roundtrip_ns(self):
+        assert to_ns(ns(123.0)) == pytest.approx(123.0)
+
+    def test_roundtrip_us(self):
+        assert to_us(us(7.25)) == pytest.approx(7.25)
+
+    def test_roundtrip_ms_seconds(self):
+        assert to_ms(ms(3)) == pytest.approx(3.0)
+        assert to_seconds(seconds(2)) == pytest.approx(2.0)
+
+
+class TestFrequency:
+    def test_period_of_125mhz_is_8ns(self):
+        assert Frequency.mhz(125).period_ps == ns(8)
+
+    def test_cycles_to_time(self):
+        assert Frequency.mhz(125).cycles_to_time(10) == ns(80)
+
+    def test_time_to_cycles_floors(self):
+        clock = Frequency.mhz(125)
+        assert clock.time_to_cycles(ns(8)) == 1
+        assert clock.time_to_cycles(ns(15)) == 1
+        assert clock.time_to_cycles(ns(16)) == 2
+        assert clock.time_to_cycles(ns(7)) == 0
+
+    def test_ghz_constructor(self):
+        assert Frequency.ghz(1).period_ps == 1_000
+
+    def test_zero_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            Frequency(0)
+
+    def test_negative_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            Frequency.mhz(125).cycles_to_time(-1)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Frequency.mhz(125).time_to_cycles(-1)
+
+
+class TestPaperConstants:
+    def test_fabric_clock_is_125mhz(self):
+        """Section III-B3: designs run at 125 MHz."""
+        assert FPGA_FABRIC_CLOCK.hz == 125_000_000
+
+    def test_hw_counter_resolution_is_8ns(self):
+        """Section III-B3: hardware counters resolve 8 ns."""
+        assert HW_COUNTER_RESOLUTION == ns(8)
+
+    def test_host_timer_resolution_is_1ns(self):
+        """Section III-B3: CLOCK_MONOTONIC resolves 1 ns."""
+        assert HOST_TIMER_RESOLUTION == ns(1)

@@ -1,0 +1,80 @@
+"""Tests for feature negotiation."""
+
+import pytest
+
+from repro.virtio.constants import (
+    VIRTIO_F_VERSION_1,
+    VIRTIO_NET_F_CSUM,
+    VIRTIO_NET_F_MAC,
+    VIRTIO_NET_F_MTU,
+)
+from repro.virtio.features import (
+    FeatureNegotiationError,
+    FeatureSet,
+    negotiate,
+    validate_accepted,
+)
+
+
+class TestFeatureSet:
+    def test_of_sets_bits(self):
+        fs = FeatureSet.of(0, 5, 32)
+        assert fs.has(0) and fs.has(5) and fs.has(32)
+        assert not fs.has(1)
+
+    def test_words_split_at_32(self):
+        fs = FeatureSet.of(VIRTIO_F_VERSION_1, VIRTIO_NET_F_MAC)
+        assert fs.word(0) == 1 << VIRTIO_NET_F_MAC
+        assert fs.word(1) == 1  # bit 32 -> bit 0 of word 1
+
+    def test_from_words_roundtrip(self):
+        fs = FeatureSet.of(3, 17, 32, 38)
+        rebuilt = FeatureSet.from_words([(0, fs.word(0)), (1, fs.word(1))])
+        assert rebuilt == fs
+
+    def test_intersect_union(self):
+        a = FeatureSet.of(1, 2, 3)
+        b = FeatureSet.of(2, 3, 4)
+        assert a.intersect(b) == FeatureSet.of(2, 3)
+        assert a.union(b) == FeatureSet.of(1, 2, 3, 4)
+
+    def test_subset(self):
+        assert FeatureSet.of(1).is_subset_of(FeatureSet.of(1, 2))
+        assert not FeatureSet.of(3).is_subset_of(FeatureSet.of(1, 2))
+
+    def test_with_without(self):
+        fs = FeatureSet.of(1).with_bit(2).without_bit(1)
+        assert fs == FeatureSet.of(2)
+
+    def test_iteration(self):
+        assert sorted(FeatureSet.of(5, 1, 33)) == [1, 5, 33]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureSet.of(64)
+        with pytest.raises(ValueError):
+            FeatureSet(-1)
+
+
+class TestNegotiation:
+    def test_intersection(self):
+        offered = FeatureSet.of(VIRTIO_F_VERSION_1, VIRTIO_NET_F_CSUM, VIRTIO_NET_F_MTU)
+        supported = FeatureSet.of(VIRTIO_F_VERSION_1, VIRTIO_NET_F_MTU, VIRTIO_NET_F_MAC)
+        accepted = negotiate(offered, supported)
+        assert accepted == FeatureSet.of(VIRTIO_F_VERSION_1, VIRTIO_NET_F_MTU)
+
+    def test_version1_required(self):
+        with pytest.raises(FeatureNegotiationError):
+            negotiate(FeatureSet.of(VIRTIO_NET_F_CSUM),
+                      FeatureSet.of(VIRTIO_F_VERSION_1, VIRTIO_NET_F_CSUM))
+
+    def test_device_validates_subset(self):
+        offered = FeatureSet.of(VIRTIO_F_VERSION_1, VIRTIO_NET_F_CSUM)
+        validate_accepted(offered, FeatureSet.of(VIRTIO_F_VERSION_1))
+        with pytest.raises(FeatureNegotiationError, match="unoffered"):
+            validate_accepted(offered, FeatureSet.of(VIRTIO_F_VERSION_1, VIRTIO_NET_F_MTU))
+
+    def test_device_requires_version1(self):
+        offered = FeatureSet.of(VIRTIO_F_VERSION_1, VIRTIO_NET_F_CSUM)
+        with pytest.raises(FeatureNegotiationError, match="VERSION_1"):
+            validate_accepted(offered, FeatureSet.of(VIRTIO_NET_F_CSUM))

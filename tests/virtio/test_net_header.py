@@ -1,0 +1,43 @@
+"""Tests for the virtio_net_hdr codec."""
+
+import pytest
+
+from repro.virtio.net_header import (
+    VIRTIO_NET_HDR_F_NEEDS_CSUM,
+    VIRTIO_NET_HDR_SIZE,
+    VirtioNetHeader,
+    prepend_header,
+    strip_header,
+)
+
+
+class TestVirtioNetHeader:
+    def test_size(self):
+        assert len(VirtioNetHeader().encode()) == VIRTIO_NET_HDR_SIZE == 12
+
+    def test_roundtrip(self):
+        hdr = VirtioNetHeader(
+            flags=VIRTIO_NET_HDR_F_NEEDS_CSUM,
+            gso_type=0,
+            hdr_len=54,
+            gso_size=1448,
+            csum_start=34,
+            csum_offset=6,
+            num_buffers=1,
+        )
+        assert VirtioNetHeader.decode(hdr.encode()) == hdr
+
+    def test_needs_csum(self):
+        assert VirtioNetHeader(flags=VIRTIO_NET_HDR_F_NEEDS_CSUM).needs_csum
+        assert not VirtioNetHeader().needs_csum
+
+    def test_short_buffer_rejected(self):
+        with pytest.raises(ValueError):
+            VirtioNetHeader.decode(bytes(8))
+
+    def test_prepend_strip_roundtrip(self):
+        frame = b"ethernet frame bytes"
+        buffer = prepend_header(frame)
+        hdr, stripped = strip_header(buffer)
+        assert stripped == frame
+        assert hdr.num_buffers == 1
