@@ -5,13 +5,22 @@ simulation substrate::
 
     virtio-fpga-repro fig3 --packets 5000
     virtio-fpga-repro table1 --packets 50000 --seed 3
+    virtio-fpga-repro table1 --json
     virtio-fpga-repro claims
     virtio-fpga-repro all
+
+``loadsweep`` goes beyond the paper: open/closed-loop traffic from the
+workload engine, swept across offered-load points::
+
+    virtio-fpga-repro loadsweep --seed 0
+    virtio-fpga-repro loadsweep --rate 20000 40000 80000 --distribution bursty
+    virtio-fpga-repro loadsweep --outstanding 1 2 4 8 --json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import List, Optional
@@ -24,9 +33,11 @@ from repro.core.experiments import (
     figure5,
     render_claims,
     run_comparison,
+    run_load_sweep,
     table1,
     verify_paper_claims,
 )
+from repro.workload.arrivals import ARRIVAL_KINDS
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -40,32 +51,109 @@ def _parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "artifact",
-        choices=["fig3", "fig4", "fig5", "table1", "claims", "all"],
-        help="which paper artifact to regenerate",
+        choices=["fig3", "fig4", "fig5", "table1", "claims", "loadsweep", "all"],
+        help="which artifact to regenerate (loadsweep: workload-engine "
+        "offered-load sweep, beyond the paper)",
     )
     parser.add_argument(
         "--packets",
         type=int,
         default=None,
-        help="packets per payload size (default: REPRO_PACKETS env or 2000; "
-        "the paper used 50000)",
+        help="packets per payload size, or per load point for loadsweep "
+        "(default: REPRO_PACKETS env, 2000 for paper artifacts, 400 for "
+        "loadsweep; the paper used 50000)",
     )
     parser.add_argument("--seed", type=int, default=0, help="simulation seed")
     parser.add_argument(
         "--payloads",
         type=int,
         nargs="+",
-        default=list(PAPER_PAYLOAD_SIZES),
-        help="payload sizes in bytes (default: the paper's sweep)",
+        default=None,
+        help="payload sizes in bytes (default: the paper's sweep; for "
+        "loadsweep one size is fixed traffic, several are an empirical mix; "
+        "loadsweep default: 64)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable JSON instead of text tables "
+        "(table1 and loadsweep only)",
+    )
+    sweep = parser.add_argument_group("loadsweep options")
+    sweep.add_argument(
+        "--rate",
+        type=float,
+        nargs="+",
+        default=None,
+        metavar="PPS",
+        help="explicit offered-load points in packets/s (default: "
+        "auto-placed multiples of each driver's measured ping-pong rate)",
+    )
+    sweep.add_argument(
+        "--outstanding",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="N",
+        help="run a closed-loop sweep over these outstanding-request "
+        "counts instead of the open-loop rate sweep (N=1 reproduces the "
+        "paper's ping-pong)",
+    )
+    sweep.add_argument(
+        "--distribution",
+        choices=list(ARRIVAL_KINDS),
+        default="poisson",
+        help="open-loop arrival process (default: poisson)",
     )
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = _parser().parse_args(argv)
-    packets = args.packets if args.packets is not None else default_packets()
+    parser = _parser()
+    args = parser.parse_args(argv)
+    if args.json and args.artifact not in ("table1", "loadsweep"):
+        parser.error("--json is only supported for table1 and loadsweep")
+    if args.rate and any(r <= 0 for r in args.rate):
+        parser.error("--rate values must be positive (packets/s)")
+    if args.outstanding and any(n <= 0 for n in args.outstanding):
+        parser.error("--outstanding values must be positive")
+
     started = time.time()
-    kwargs = dict(payload_sizes=args.payloads, packets=packets, seed=args.seed)
+    if args.artifact == "loadsweep":
+        packets = args.packets if args.packets is not None else default_packets(400)
+        payloads = args.payloads if args.payloads is not None else [64]
+        results, text = run_load_sweep(
+            packets=packets,
+            seed=args.seed,
+            rates=args.rate,
+            outstanding=args.outstanding,
+            arrival=args.distribution,
+            payload_sizes=payloads,
+        )
+        if args.json:
+            print(json.dumps(
+                {
+                    "artifact": "loadsweep",
+                    "mode": "closed" if args.outstanding else "open",
+                    "seed": args.seed,
+                    "packets": packets,
+                    "payloads": payloads,
+                    "drivers": {name: r.as_dict() for name, r in results.items()},
+                },
+                indent=2,
+            ))
+        else:
+            print(text)
+        print(
+            f"\n[loadsweep: {packets} packets/point, seed {args.seed}, "
+            f"{time.time() - started:.1f}s]",
+            file=sys.stderr,
+        )
+        return 0
+
+    packets = args.packets if args.packets is not None else default_packets()
+    payloads = args.payloads if args.payloads is not None else list(PAPER_PAYLOAD_SIZES)
+    kwargs = dict(payload_sizes=payloads, packets=packets, seed=args.seed)
 
     if args.artifact == "fig3":
         _, text = figure3(**kwargs)
@@ -77,8 +165,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         _, text = figure5(**kwargs)
         print(text)
     elif args.artifact == "table1":
-        _, text = table1(**kwargs)
-        print(text)
+        comparison, text = table1(**kwargs)
+        if args.json:
+            print(json.dumps(
+                {
+                    "artifact": "table1",
+                    "seed": args.seed,
+                    "packets": packets,
+                    "rows": comparison.table1_rows(),
+                },
+                indent=2,
+            ))
+        else:
+            print(text)
     elif args.artifact == "claims":
         comparison = run_comparison(**kwargs)
         print(render_claims(verify_paper_claims(comparison)))
@@ -94,7 +193,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print()
         print(render_claims(verify_paper_claims(comparison)))
     print(
-        f"\n[{args.artifact}: {packets} packets/size x {len(args.payloads)} sizes, "
+        f"\n[{args.artifact}: {packets} packets/size x {len(payloads)} sizes, "
         f"seed {args.seed}, {time.time() - started:.1f}s]",
         file=sys.stderr,
     )

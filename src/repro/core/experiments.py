@@ -34,7 +34,12 @@ def default_packets(fallback: int = 2000) -> int:
     """Packets per payload size (env-overridable)."""
     value = os.environ.get("REPRO_PACKETS", "")
     if value:
-        packets = int(value)
+        try:
+            packets = int(value)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_PACKETS must be an integer, got {value!r}"
+            ) from None
         if packets <= 0:
             raise ValueError(f"REPRO_PACKETS must be positive, got {packets}")
         return packets
@@ -141,6 +146,59 @@ def table1(
     """Table I: 95/99/99.9% tail latencies for both drivers."""
     comparison = run_comparison(payload_sizes, packets, seed, profile)
     return comparison, "Table I: tail latencies\n" + comparison.table1()
+
+
+# -- Load sweep (workload-engine extension, beyond the paper) ---------------------------
+
+
+def run_load_sweep(
+    drivers: Sequence[str] = ("virtio", "xdma"),
+    packets: Optional[int] = None,
+    seed: int = 0,
+    profile: CalibrationProfile = PAPER_PROFILE,
+    rates: Optional[Sequence[float]] = None,
+    outstanding: Optional[Sequence[int]] = None,
+    arrival: str = "poisson",
+    payload_sizes: Sequence[int] = (64,),
+) -> Tuple[dict, str]:
+    """Offered-load sweep on both driver stacks (``loadsweep`` CLI).
+
+    Open-loop by default: each driver is swept across offered-load
+    points (auto-placed at multiples of its measured ping-pong rate, or
+    at explicit ``rates``), reporting throughput-vs-load and
+    p50/p95/p99-vs-load tables plus the saturation knee.  Passing
+    ``outstanding`` switches to a closed-loop sweep over those
+    outstanding-request counts instead.
+
+    Returns ``(results, text)`` where ``results`` maps driver name to a
+    :class:`repro.workload.sweep.LoadSweepResult` (or
+    :class:`~repro.workload.sweep.ClosedSweepResult`).
+    """
+    from repro.workload.sizes import make_sizes
+    from repro.workload.sweep import run_driver_closed_sweep, run_driver_load_sweep
+
+    count = packets or default_packets(400)
+    sizes = make_sizes(list(payload_sizes))
+    results = {}
+    blocks = []
+    for driver in drivers:
+        if outstanding:
+            result = run_driver_closed_sweep(
+                driver, outstanding=outstanding, seed=seed, packets=count,
+                sizes=sizes, profile=profile,
+            )
+        else:
+            result = run_driver_load_sweep(
+                driver, seed=seed, packets=count, rates=rates, arrival=arrival,
+                sizes=sizes, profile=profile,
+            )
+        results[driver] = result
+        blocks.append(result.render())
+    title = (
+        "Load sweep (closed loop)" if outstanding
+        else "Load sweep (open loop)"
+    )
+    return results, title + "\n\n" + "\n\n".join(blocks)
 
 
 # -- Section V claims -----------------------------------------------------------------------

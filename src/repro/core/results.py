@@ -115,6 +115,26 @@ class ComparisonResult:
         shared = set(self.virtio.payloads) & set(self.xdma.payloads)
         return sorted(shared)
 
+    def table1_rows(self) -> List[Dict[str, object]]:
+        """Machine-readable Table I (one dict per payload; the CLI's
+        ``--json`` rendering and the benchmark harness consume this)."""
+        rows: List[Dict[str, object]] = []
+        for payload in self.payload_sizes():
+            row: Dict[str, object] = {"payload": payload}
+            for name, sweep in (("virtio", self.virtio), ("xdma", self.xdma)):
+                result = sweep[payload]
+                tails = result.tail_latencies_us()
+                summary = result.rtt_summary()
+                row[name] = {
+                    "mean_us": summary.mean_us,
+                    "std_us": summary.std_us,
+                    "p95_us": tails[95.0],
+                    "p99_us": tails[99.0],
+                    "p999_us": tails[99.9],
+                }
+            rows.append(row)
+        return rows
+
     def table1(self) -> str:
         """Render the Table I layout: tail latencies per payload."""
         rows = [

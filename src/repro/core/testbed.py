@@ -16,7 +16,7 @@ machine state reached through the modeled mechanisms.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.core.calibration import (
     FPGA_IP,
@@ -41,6 +41,9 @@ from repro.sim.kernel import Simulator
 from repro.sim.trace import Tracer
 from repro.virtio.controller.device import VirtioFpgaDevice
 from repro.virtio.controller.net import VirtioNetPersonality
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.workload.metrics import RunMetrics
 
 
 class TestbedError(RuntimeError):
@@ -75,6 +78,24 @@ class VirtioTestbed:
     def perf(self):
         return self.device.perf
 
+    # -- workload attachment ------------------------------------------------
+
+    def open_socket(self, port: int) -> UdpSocket:
+        """A fresh UDP socket bound to *port* on the booted stack
+        (workload generators open one per traffic loop)."""
+        socket = UdpSocket(self.kernel, self.stack)
+        socket.bind(port)
+        return socket
+
+    def tx_has_room(self) -> bool:
+        """Whether the transmit path can accept another frame right now
+        (open-loop generators tail-drop when it cannot)."""
+        return self.driver.tx_has_room()
+
+    def run_workload(self, generator) -> "RunMetrics":
+        """Attach a workload generator and drive it to completion."""
+        return generator.run(self)
+
 
 @dataclass
 class XdmaTestbed:
@@ -90,6 +111,10 @@ class XdmaTestbed:
     @property
     def perf(self):
         return self.xdma.perf
+
+    def run_workload(self, generator) -> "RunMetrics":
+        """Attach a workload generator and drive it to completion."""
+        return generator.run(self)
 
 
 def build_virtio_testbed(

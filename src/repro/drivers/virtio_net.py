@@ -176,6 +176,17 @@ class VirtioNetDriver:
 
     # -- transmit path -----------------------------------------------------------------
 
+    def tx_has_room(self) -> bool:
+        """Whether the transmitq can accept another frame right now.
+
+        Conservative: completions pending in the used ring would free
+        slots on the next xmit's opportunistic clean, so a ``False``
+        here can be one clean away from ``True``.  Open-loop workload
+        generators treat ``False`` as a qdisc-style tail drop.
+        """
+        vq = self.transport.queue(TRANSMITQ)
+        return vq.num_free > 0 and self._tx_outstanding < TX_POOL_SIZE
+
     def _start_xmit(self, skb: Skb) -> Generator[Any, Any, None]:
         kernel = self.kernel
         vq = self.transport.queue(TRANSMITQ)

@@ -1,0 +1,73 @@
+"""Workload engine: traffic generation and load-sweep experiments.
+
+The paper (and :mod:`repro.core.latency`) measures ping-pong round
+trips -- exactly one request in flight.  This package adds the *offered
+load* axis the ping-pong layer cannot express:
+
+* :mod:`repro.workload.arrivals` -- seeded arrival processes
+  (deterministic rate, Poisson, bursty on-off MMPP),
+* :mod:`repro.workload.sizes` -- payload-size distributions over the
+  paper's 64 B - 1 KB operating points,
+* :mod:`repro.workload.generator` -- an open-loop generator that
+  injects at an offered rate regardless of completions, and a
+  closed-loop generator with N outstanding requests (N=1 degenerates
+  to the paper's ping-pong loop, a built-in consistency check),
+* :mod:`repro.workload.metrics` -- per-run accounting: achieved
+  throughput, in-flight occupancy time series, drop/backpressure
+  counts, latency samples feeding the ``stats`` percentile machinery,
+* :mod:`repro.workload.sweep` -- the offered-load sweep driver that
+  locates the saturation knee for both driver stacks.
+"""
+
+from repro.workload.arrivals import (
+    ArrivalProcess,
+    DeterministicArrivals,
+    MmppArrivals,
+    PoissonArrivals,
+    make_arrivals,
+)
+from repro.workload.generator import (
+    ClosedLoopGenerator,
+    OpenLoopGenerator,
+    WorkloadError,
+)
+from repro.workload.metrics import RunMetrics, RunRecorder
+from repro.workload.sizes import (
+    EmpiricalMix,
+    FixedSize,
+    SizeDistribution,
+    UniformSize,
+    make_sizes,
+)
+from repro.workload.sweep import (
+    ClosedSweepResult,
+    LoadPoint,
+    LoadSweepResult,
+    estimate_base_rate,
+    run_driver_closed_sweep,
+    run_driver_load_sweep,
+)
+
+__all__ = [
+    "ArrivalProcess",
+    "ClosedLoopGenerator",
+    "ClosedSweepResult",
+    "DeterministicArrivals",
+    "EmpiricalMix",
+    "FixedSize",
+    "LoadPoint",
+    "LoadSweepResult",
+    "MmppArrivals",
+    "OpenLoopGenerator",
+    "PoissonArrivals",
+    "RunMetrics",
+    "RunRecorder",
+    "SizeDistribution",
+    "UniformSize",
+    "WorkloadError",
+    "estimate_base_rate",
+    "make_arrivals",
+    "make_sizes",
+    "run_driver_closed_sweep",
+    "run_driver_load_sweep",
+]

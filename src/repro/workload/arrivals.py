@@ -1,0 +1,167 @@
+"""Arrival processes for the workload generators.
+
+Each process turns an offered rate (packets per second) into a stream
+of inter-arrival gaps in integer picoseconds.  All randomness is drawn
+from a caller-supplied :class:`numpy.random.Generator` -- generators
+pass a named stream from :meth:`repro.sim.kernel.Simulator.rng`, so
+arrival times are bit-reproducible for a given simulator seed and
+independent of every other noise source in the model.
+
+Three shapes cover the classic traffic regimes:
+
+* :class:`DeterministicArrivals` -- constant spacing (a paced
+  hardware generator, the D/./1 reference case),
+* :class:`PoissonArrivals` -- exponential gaps (memoryless aggregate
+  of many independent users, the M/./1 case),
+* :class:`MmppArrivals` -- a two-state on-off Markov-modulated Poisson
+  process: exponential dwell in a bursting state (elevated rate) and a
+  silent state, preserving the requested long-run mean rate.  This is
+  the bursty regime where tail latency diverges from the mean first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.time import S
+
+
+def _check_rate(rate_pps: float) -> None:
+    if not rate_pps > 0:
+        raise ValueError(f"rate_pps must be positive, got {rate_pps}")
+
+
+@dataclass(frozen=True)
+class ArrivalProcess:
+    """Base class: an offered-rate arrival stream.
+
+    ``rate_pps`` is the long-run mean injection rate in packets per
+    second; :meth:`intervals` materializes *n* inter-arrival gaps.
+    """
+
+    rate_pps: float
+
+    def __post_init__(self) -> None:
+        _check_rate(self.rate_pps)
+
+    @property
+    def mean_interval_ps(self) -> float:
+        """Long-run mean gap between arrivals, in picoseconds."""
+        return S / self.rate_pps
+
+    def intervals(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """*n* inter-arrival gaps as int64 picoseconds (each >= 1)."""
+        raise NotImplementedError
+
+    def arrival_times(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Absolute arrival offsets (cumulative gaps) for *n* packets."""
+        return np.cumsum(self.intervals(rng, n))
+
+
+def _finalize(gaps_ps: np.ndarray) -> np.ndarray:
+    """Round to integer picoseconds, keeping every gap strictly positive
+    so same-instant arrivals cannot reorder the event queue."""
+    return np.maximum(np.rint(gaps_ps).astype(np.int64), 1)
+
+
+@dataclass(frozen=True)
+class DeterministicArrivals(ArrivalProcess):
+    """Constant-rate (paced) injection: every gap is exactly 1/rate."""
+
+    def intervals(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        return _finalize(np.full(n, self.mean_interval_ps))
+
+
+@dataclass(frozen=True)
+class PoissonArrivals(ArrivalProcess):
+    """Poisson injection: i.i.d. exponential gaps with mean 1/rate."""
+
+    def intervals(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        return _finalize(rng.exponential(self.mean_interval_ps, size=n))
+
+
+@dataclass(frozen=True)
+class MmppArrivals(ArrivalProcess):
+    """Two-state on-off MMPP: Poisson bursts separated by silences.
+
+    Parameters
+    ----------
+    rate_pps:
+        Long-run mean rate.  During a burst the instantaneous rate is
+        ``rate_pps / on_fraction``; the silent state emits nothing, so
+        the time-weighted mean equals ``rate_pps``.
+    on_fraction:
+        Expected fraction of time spent bursting (state dwell times are
+        exponential with means ``on_fraction * cycle_s`` and
+        ``(1 - on_fraction) * cycle_s``).
+    cycle_s:
+        Expected on+off cycle length in seconds; sets how many bursts a
+        run of a given span sees.
+    """
+
+    on_fraction: float = 0.25
+    cycle_s: float = 1e-3
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 < self.on_fraction < 1.0:
+            raise ValueError(f"on_fraction must be in (0, 1), got {self.on_fraction}")
+        if not self.cycle_s > 0:
+            raise ValueError(f"cycle_s must be positive, got {self.cycle_s}")
+
+    @property
+    def burst_rate_pps(self) -> float:
+        return self.rate_pps / self.on_fraction
+
+    def intervals(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        mean_on_ps = self.on_fraction * self.cycle_s * S
+        mean_off_ps = (1.0 - self.on_fraction) * self.cycle_s * S
+        burst_gap_ps = S / self.burst_rate_pps
+
+        gaps = np.empty(n, dtype=np.float64)
+        dwell = rng.exponential(mean_on_ps)  # start in the ON state
+        silent = False
+        for i in range(n):
+            gap = 0.0
+            while True:
+                if silent:
+                    # Silence emits nothing: its whole dwell is gap time.
+                    gap += dwell
+                    silent = False
+                    dwell = rng.exponential(mean_on_ps)
+                    continue
+                candidate = rng.exponential(burst_gap_ps)
+                if candidate <= dwell:
+                    dwell -= candidate
+                    gap += candidate
+                    break
+                # Burst ends before the next arrival: spend the rest of
+                # the dwell, then enter the silent state.
+                gap += dwell
+                silent = True
+                dwell = rng.exponential(mean_off_ps)
+            gaps[i] = gap
+        return _finalize(gaps)
+
+
+#: CLI names for the arrival shapes.
+ARRIVAL_KINDS = ("deterministic", "poisson", "bursty")
+
+
+def make_arrivals(kind: str, rate_pps: float) -> ArrivalProcess:
+    """Factory keyed by the CLI's ``--distribution`` names."""
+    if kind == "deterministic":
+        return DeterministicArrivals(rate_pps)
+    if kind == "poisson":
+        return PoissonArrivals(rate_pps)
+    if kind == "bursty":
+        return MmppArrivals(rate_pps)
+    raise ValueError(f"unknown arrival kind {kind!r} (expected one of {ARRIVAL_KINDS})")

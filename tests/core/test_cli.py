@@ -1,5 +1,7 @@
 """Tests for the CLI entry point."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -40,3 +42,61 @@ class TestCli:
     def test_unknown_artifact_rejected(self):
         with pytest.raises(SystemExit):
             main(["bogus"])
+
+
+LOADSWEEP_FAST = [
+    "loadsweep", "--packets", "40", "--rate", "5000", "20000",
+]
+
+
+class TestLoadsweepCli:
+    def test_text_output(self, capsys):
+        assert main(LOADSWEEP_FAST) == 0
+        out = capsys.readouterr().out
+        assert "Load sweep (open loop)" in out
+        assert "Throughput vs offered load (virtio" in out
+        assert "Throughput vs offered load (xdma" in out
+        assert "Latency vs offered load" in out
+
+    def test_deterministic_across_repeats(self, capsys):
+        main(LOADSWEEP_FAST + ["--seed", "4"])
+        first = capsys.readouterr().out
+        main(LOADSWEEP_FAST + ["--seed", "4"])
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_json_output(self, capsys):
+        assert main(LOADSWEEP_FAST + ["--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["artifact"] == "loadsweep"
+        assert doc["mode"] == "open"
+        assert set(doc["drivers"]) == {"virtio", "xdma"}
+        points = doc["drivers"]["virtio"]["points"]
+        assert [p["offered_pps"] for p in points] == [5000.0, 20000.0]
+        assert all("p99" in p["latency_us"] for p in points)
+
+    def test_closed_loop_json(self, capsys):
+        argv = ["loadsweep", "--packets", "40", "--outstanding", "1", "2", "--json"]
+        assert main(argv) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["mode"] == "closed"
+        assert [p["outstanding"] for p in doc["drivers"]["xdma"]["points"]] == [1, 2]
+
+    def test_bursty_distribution(self, capsys):
+        assert main(LOADSWEEP_FAST + ["--distribution", "bursty"]) == 0
+        assert "bursty arrivals" in capsys.readouterr().out
+
+
+class TestJsonFlag:
+    def test_table1_json(self, capsys):
+        assert main(["table1", "--packets", "30", "--payloads", "64", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["artifact"] == "table1"
+        assert doc["rows"][0]["payload"] == 64
+        assert {"virtio", "xdma"} <= set(doc["rows"][0])
+        assert "p99_us" in doc["rows"][0]["virtio"]
+
+    def test_json_rejected_for_other_artifacts(self):
+        for artifact in ("fig3", "fig4", "fig5", "claims", "all"):
+            with pytest.raises(SystemExit):
+                main([artifact, "--json", "--packets", "10", "--payloads", "64"])

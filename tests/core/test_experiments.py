@@ -10,6 +10,7 @@ from repro.core.experiments import (
     default_packets,
     figure4,
     figure5,
+    run_load_sweep,
     run_virtio_sweep,
     run_xdma_sweep,
 )
@@ -100,6 +101,29 @@ class TestArtifacts:
         assert "Figure 5" in text and "XDMA" in text
 
 
+class TestLoadSweep:
+    def test_open_loop_explicit_rates(self):
+        results, text = run_load_sweep(
+            drivers=("virtio",), packets=40, seed=2, rates=[5_000, 20_000]
+        )
+        assert set(results) == {"virtio"}
+        sweep = results["virtio"]
+        assert [p.offered_pps for p in sweep.points] == [5_000, 20_000]
+        assert "offered" in text and "p99" in text
+
+    def test_closed_loop_mode(self):
+        results, text = run_load_sweep(
+            drivers=("xdma",), packets=40, seed=2, outstanding=[1, 2]
+        )
+        sweep = results["xdma"]
+        assert [m.outstanding for m in sweep.points] == [1, 2]
+        assert "closed loop" in text
+
+    def test_unknown_driver_rejected(self):
+        with pytest.raises(ValueError):
+            run_load_sweep(drivers=("nvme",), packets=10, rates=[1000])
+
+
 class TestDefaultPackets:
     def test_fallback(self, monkeypatch):
         monkeypatch.delenv("REPRO_PACKETS", raising=False)
@@ -113,3 +137,17 @@ class TestDefaultPackets:
         monkeypatch.setenv("REPRO_PACKETS", "-1")
         with pytest.raises(ValueError):
             default_packets()
+
+    def test_non_integer_env_names_variable_and_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PACKETS", "abc")
+        with pytest.raises(ValueError) as excinfo:
+            default_packets()
+        message = str(excinfo.value)
+        assert "REPRO_PACKETS" in message
+        assert "abc" in message
+
+    def test_float_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PACKETS", "10.5")
+        with pytest.raises(ValueError) as excinfo:
+            default_packets()
+        assert "REPRO_PACKETS" in str(excinfo.value)

@@ -36,6 +36,31 @@ class TestPercentiles:
     def test_bad_percentile_rejected(self):
         with pytest.raises(ValueError):
             percentile_us(np.array([1]), 101)
+        with pytest.raises(ValueError):
+            percentile_us(np.array([1]), -0.1)
+        with pytest.raises(ValueError):
+            percentile_us(np.array([1]), 100.5)
+
+    def test_percentile_bounds_accepted(self):
+        samples = np.array([us(v) for v in (10, 20, 30)])
+        assert percentile_us(samples, 0) == pytest.approx(10.0)
+        assert percentile_us(samples, 100) == pytest.approx(30.0)
+
+    def test_percentiles_us_matches_repeated_calls(self):
+        rng = np.random.default_rng(3)
+        samples = (rng.lognormal(3.5, 0.4, 2000) * 1e6).astype(np.int64)
+        batch = percentiles_us(samples, points=(50.0, 95.0, 99.0, 99.9))
+        for q, value in batch.items():
+            assert value == pytest.approx(percentile_us(samples, q))
+
+    def test_tail_ratio_zero_median_rejected(self):
+        samples = np.array([0] * 99 + [us(100)])
+        with pytest.raises(ValueError):
+            tail_ratio(samples)
+
+    def test_multidimensional_rejected(self):
+        with pytest.raises(ValueError):
+            percentile_us(np.ones((2, 2), dtype=np.int64), 50)
 
 
 class TestLatencySummary:
