@@ -107,3 +107,57 @@ def test_testbed_boot_cost(benchmark):
 
     testbed = benchmark(boot)
     assert testbed.device.driver_ok
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_event_loop_prescheduled_dispatch(benchmark):
+    """Pure dispatch cost of a pre-filled heap (guards the run-loop
+    tightening: local heap/pop bindings, no per-event limit checks)."""
+
+    def run_events():
+        sim = Simulator(seed=0)
+        for i in range(10_000):
+            sim.schedule(ns(i), int)
+        sim.run()
+        return sim.events_executed
+
+    executed = benchmark(run_events)
+    assert executed == 10_000  # exact: guards the executed-count accounting
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_tlp_segmentation_cached(benchmark):
+    """Steady-state segmentation must be one plan-cache lookup, not a
+    Python loop per TLP (guards the (offset, length, limit) memo)."""
+    from repro.pcie.tlp import segment_write, segmentation_plan
+
+    data = bytes(4096)
+    segment_write(0x1000, data, 128)  # warm the plan cache
+    before = segmentation_plan.cache_info().hits
+
+    tlps = benchmark(lambda: segment_write(0x1000, data, 128))
+    assert len(tlps) == 4096 // 128
+    assert sum(t.payload_bytes for t in tlps) == len(data)
+    assert segmentation_plan.cache_info().hits > before
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_max_events_budget_is_exact(benchmark):
+    """The max_events valve stops at exactly the budget (off-by-one
+    regression guard kept alongside the loop benchmarks)."""
+    from repro.sim.kernel import SimulationError
+
+    def run_with_budget():
+        sim = Simulator(seed=0)
+
+        def rearm():
+            sim.schedule(1, rearm)
+
+        sim.schedule(0, rearm)
+        try:
+            sim.run(max_events=1000)
+        except SimulationError:
+            pass
+        return sim.events_executed
+
+    assert benchmark(run_with_budget) == 1000

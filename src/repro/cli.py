@@ -15,6 +15,13 @@ workload engine, swept across offered-load points::
     virtio-fpga-repro loadsweep --seed 0
     virtio-fpga-repro loadsweep --rate 20000 40000 80000 --distribution bursty
     virtio-fpga-repro loadsweep --outstanding 1 2 4 8 --json
+
+``--jobs/-j`` fans any artifact out over a process pool (bit-identical
+output for any worker count), and ``bench`` records the serial vs
+parallel perf trajectory::
+
+    virtio-fpga-repro table1 --packets 50000 -j 8
+    virtio-fpga-repro bench --packets 2000 --jobs 4   # writes BENCH_<rev>.json
 """
 
 from __future__ import annotations
@@ -51,9 +58,10 @@ def _parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "artifact",
-        choices=["fig3", "fig4", "fig5", "table1", "claims", "loadsweep", "all"],
+        choices=["fig3", "fig4", "fig5", "table1", "claims", "loadsweep", "bench", "all"],
         help="which artifact to regenerate (loadsweep: workload-engine "
-        "offered-load sweep, beyond the paper)",
+        "offered-load sweep, beyond the paper; bench: time a serial vs "
+        "parallel reproduction and write BENCH_<rev>.json)",
     )
     parser.add_argument(
         "--packets",
@@ -64,6 +72,16 @@ def _parser() -> argparse.ArgumentParser:
         "loadsweep; the paper used 50000)",
     )
     parser.add_argument("--seed", type=int, default=0, help="simulation seed")
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan the run out over N worker processes via the parallel "
+        "execution engine (output is bit-identical for any N; default: "
+        "the original serial path; bench default: all CPUs)",
+    )
     parser.add_argument(
         "--payloads",
         type=int,
@@ -111,14 +129,37 @@ def _parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = _parser()
     args = parser.parse_args(argv)
-    if args.json and args.artifact not in ("table1", "loadsweep"):
-        parser.error("--json is only supported for table1 and loadsweep")
+    if args.json and args.artifact not in ("table1", "loadsweep", "bench"):
+        parser.error("--json is only supported for table1, loadsweep, and bench")
     if args.rate and any(r <= 0 for r in args.rate):
         parser.error("--rate values must be positive (packets/s)")
     if args.outstanding and any(n <= 0 for n in args.outstanding):
         parser.error("--outstanding values must be positive")
+    if args.jobs is not None and args.jobs < 1:
+        parser.error("--jobs must be >= 1")
 
     started = time.time()
+    if args.artifact == "bench":
+        import os
+
+        from repro.exec.bench import render_bench, run_bench
+
+        jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 2)
+        if jobs < 2:
+            parser.error("bench compares serial vs parallel; use --jobs >= 2")
+        packets = args.packets if args.packets is not None else default_packets()
+        payloads = (
+            args.payloads if args.payloads is not None else list(PAPER_PAYLOAD_SIZES)
+        )
+        record, path = run_bench(
+            packets=packets, jobs=jobs, payload_sizes=payloads, seed=args.seed
+        )
+        if args.json:
+            print(json.dumps(record, indent=2))
+        else:
+            print(render_bench(record))
+        print(f"\n[bench record written to {path}]", file=sys.stderr)
+        return 0 if record["parallel_matches_serial"] else 1
     if args.artifact == "loadsweep":
         packets = args.packets if args.packets is not None else default_packets(400)
         payloads = args.payloads if args.payloads is not None else [64]
@@ -129,6 +170,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             outstanding=args.outstanding,
             arrival=args.distribution,
             payload_sizes=payloads,
+            jobs=args.jobs,
         )
         if args.json:
             print(json.dumps(
@@ -153,7 +195,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     packets = args.packets if args.packets is not None else default_packets()
     payloads = args.payloads if args.payloads is not None else list(PAPER_PAYLOAD_SIZES)
-    kwargs = dict(payload_sizes=payloads, packets=packets, seed=args.seed)
+    kwargs = dict(payload_sizes=payloads, packets=packets, seed=args.seed, jobs=args.jobs)
 
     if args.artifact == "fig3":
         _, text = figure3(**kwargs)

@@ -7,6 +7,12 @@ and the CLI are thin wrappers over these.
 Packet counts default to a CI-friendly value; pass
 ``packets=PAPER_PACKETS_PER_SIZE`` (50 000) for full-fidelity runs.
 The ``REPRO_PACKETS`` environment variable overrides the default.
+
+Every entry point takes ``jobs``: ``None`` (default) runs the original
+serial path -- the bit-exact reference -- while any integer routes the
+run through :mod:`repro.exec`, which decomposes it into independent
+cells and fans them out over a process pool (``jobs=1`` runs the same
+cells in-process; output is identical for any worker count).
 """
 
 from __future__ import annotations
@@ -51,8 +57,16 @@ def run_virtio_sweep(
     packets: Optional[int] = None,
     seed: int = 0,
     profile: CalibrationProfile = PAPER_PROFILE,
+    jobs: Optional[int] = None,
 ) -> SweepResult:
     """The VirtIO side of the evaluation."""
+    if jobs is not None:
+        from repro.exec import execute_sweep
+
+        sweep, _ = execute_sweep(
+            "virtio", payload_sizes, packets or default_packets(), seed, profile, jobs
+        )
+        return sweep
     testbed = build_virtio_testbed(seed=seed, profile=profile)
     return run_latency_sweep(testbed, payload_sizes, packets or default_packets())
 
@@ -62,8 +76,16 @@ def run_xdma_sweep(
     packets: Optional[int] = None,
     seed: int = 0,
     profile: CalibrationProfile = PAPER_PROFILE,
+    jobs: Optional[int] = None,
 ) -> SweepResult:
     """The XDMA side of the evaluation."""
+    if jobs is not None:
+        from repro.exec import execute_sweep
+
+        sweep, _ = execute_sweep(
+            "xdma", payload_sizes, packets or default_packets(), seed, profile, jobs
+        )
+        return sweep
     testbed = build_xdma_testbed(seed=seed, profile=profile)
     return run_latency_sweep(testbed, payload_sizes, packets or default_packets())
 
@@ -73,8 +95,20 @@ def run_comparison(
     packets: Optional[int] = None,
     seed: int = 0,
     profile: CalibrationProfile = PAPER_PROFILE,
+    jobs: Optional[int] = None,
 ) -> ComparisonResult:
-    """Both sweeps with matched parameters."""
+    """Both sweeps with matched parameters.
+
+    With ``jobs`` set, both drivers' cells share one fan-out so the
+    pool is loaded with all driver x payload cells at once.
+    """
+    if jobs is not None:
+        from repro.exec import execute_comparison
+
+        comparison, _ = execute_comparison(
+            payload_sizes, packets or default_packets(), seed, profile, jobs
+        )
+        return comparison
     return ComparisonResult(
         virtio=run_virtio_sweep(payload_sizes, packets, seed, profile),
         xdma=run_xdma_sweep(payload_sizes, packets, seed, profile),
@@ -89,9 +123,10 @@ def figure3(
     packets: Optional[int] = None,
     seed: int = 0,
     profile: CalibrationProfile = PAPER_PROFILE,
+    jobs: Optional[int] = None,
 ) -> Tuple[ComparisonResult, str]:
     """Fig. 3: latency distributions for both drivers, all payloads."""
-    comparison = run_comparison(payload_sizes, packets, seed, profile)
+    comparison = run_comparison(payload_sizes, packets, seed, profile, jobs)
     blocks = ["Figure 3: round-trip latency distributions (us)"]
     for payload in comparison.payload_sizes():
         for name, sweep in (("VirtIO", comparison.virtio), ("XDMA", comparison.xdma)):
@@ -113,9 +148,10 @@ def figure4(
     packets: Optional[int] = None,
     seed: int = 0,
     profile: CalibrationProfile = PAPER_PROFILE,
+    jobs: Optional[int] = None,
 ) -> Tuple[SweepResult, str]:
     """Fig. 4: VirtIO hardware/software breakdown."""
-    sweep = run_virtio_sweep(payload_sizes, packets, seed, profile)
+    sweep = run_virtio_sweep(payload_sizes, packets, seed, profile, jobs)
     return sweep, render_breakdown(
         sweep, "Figure 4: VirtIO data-movement latency breakdown"
     )
@@ -126,9 +162,10 @@ def figure5(
     packets: Optional[int] = None,
     seed: int = 0,
     profile: CalibrationProfile = PAPER_PROFILE,
+    jobs: Optional[int] = None,
 ) -> Tuple[SweepResult, str]:
     """Fig. 5: XDMA hardware/software breakdown."""
-    sweep = run_xdma_sweep(payload_sizes, packets, seed, profile)
+    sweep = run_xdma_sweep(payload_sizes, packets, seed, profile, jobs)
     return sweep, render_breakdown(
         sweep, "Figure 5: XDMA data-movement latency breakdown"
     )
@@ -142,9 +179,10 @@ def table1(
     packets: Optional[int] = None,
     seed: int = 0,
     profile: CalibrationProfile = PAPER_PROFILE,
+    jobs: Optional[int] = None,
 ) -> Tuple[ComparisonResult, str]:
     """Table I: 95/99/99.9% tail latencies for both drivers."""
-    comparison = run_comparison(payload_sizes, packets, seed, profile)
+    comparison = run_comparison(payload_sizes, packets, seed, profile, jobs)
     return comparison, "Table I: tail latencies\n" + comparison.table1()
 
 
@@ -160,6 +198,7 @@ def run_load_sweep(
     outstanding: Optional[Sequence[int]] = None,
     arrival: str = "poisson",
     payload_sizes: Sequence[int] = (64,),
+    jobs: Optional[int] = None,
 ) -> Tuple[dict, str]:
     """Offered-load sweep on both driver stacks (``loadsweep`` CLI).
 
@@ -178,22 +217,32 @@ def run_load_sweep(
     from repro.workload.sweep import run_driver_closed_sweep, run_driver_load_sweep
 
     count = packets or default_packets(400)
-    sizes = make_sizes(list(payload_sizes))
-    results = {}
-    blocks = []
-    for driver in drivers:
-        if outstanding:
-            result = run_driver_closed_sweep(
-                driver, outstanding=outstanding, seed=seed, packets=count,
-                sizes=sizes, profile=profile,
-            )
-        else:
-            result = run_driver_load_sweep(
-                driver, seed=seed, packets=count, rates=rates, arrival=arrival,
-                sizes=sizes, profile=profile,
-            )
-        results[driver] = result
-        blocks.append(result.render())
+    if jobs is not None:
+        from repro.exec import execute_load_sweep
+
+        results, _ = execute_load_sweep(
+            drivers=drivers, packets=count, seed=seed, profile=profile,
+            rates=rates, outstanding=outstanding, arrival=arrival,
+            payload_sizes=payload_sizes, jobs=jobs,
+        )
+        blocks = [results[driver].render() for driver in drivers]
+    else:
+        sizes = make_sizes(list(payload_sizes))
+        results = {}
+        blocks = []
+        for driver in drivers:
+            if outstanding:
+                result = run_driver_closed_sweep(
+                    driver, outstanding=outstanding, seed=seed, packets=count,
+                    sizes=sizes, profile=profile,
+                )
+            else:
+                result = run_driver_load_sweep(
+                    driver, seed=seed, packets=count, rates=rates, arrival=arrival,
+                    sizes=sizes, profile=profile,
+                )
+            results[driver] = result
+            blocks.append(result.render())
     title = (
         "Load sweep (closed loop)" if outstanding
         else "Load sweep (open loop)"

@@ -1,0 +1,120 @@
+"""The ``bench`` subcommand: record the performance trajectory.
+
+Times a fixed-size reproduction twice -- serial (``jobs=1``, in
+process) and parallel (the requested worker count) -- and writes a
+``BENCH_<rev>.json`` record with wall-clock, events/second, and the
+speedup, so the repository finally accumulates perf history alongside
+correctness history.  The run doubles as a parity check: the serial and
+parallel artifacts must be byte-identical (same root seed, same cells),
+and the record says whether they were.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import time
+from typing import Optional, Sequence, Tuple
+
+from repro.core.calibration import PAPER_PAYLOAD_SIZES, PAPER_PROFILE, CalibrationProfile
+from repro.exec.runner import execute_comparison
+
+
+def repo_revision() -> str:
+    """Short git revision of the working tree, or ``"unknown"``."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else "unknown"
+
+
+def run_bench(
+    packets: int = 2000,
+    jobs: int = 4,
+    payload_sizes: Sequence[int] = PAPER_PAYLOAD_SIZES,
+    seed: int = 0,
+    profile: CalibrationProfile = PAPER_PROFILE,
+    out_dir: str = ".",
+    rev: Optional[str] = None,
+) -> Tuple[dict, str]:
+    """Time serial vs parallel reproduction; write ``BENCH_<rev>.json``.
+
+    Returns ``(record, path)``.
+    """
+    if jobs < 2:
+        raise ValueError(f"bench compares serial vs parallel; need jobs >= 2, got {jobs}")
+    serial_comparison, serial_stats = execute_comparison(
+        payload_sizes, packets, seed, profile, jobs=1
+    )
+    parallel_comparison, parallel_stats = execute_comparison(
+        payload_sizes, packets, seed, profile, jobs=jobs
+    )
+    identical = serial_comparison.table1_rows() == parallel_comparison.table1_rows()
+    speedup = (
+        serial_stats.wall_s / parallel_stats.wall_s if parallel_stats.wall_s > 0 else 0.0
+    )
+    record = {
+        "schema": "bench-v1",
+        "rev": rev if rev is not None else repo_revision(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpus": os.cpu_count(),
+        },
+        "workload": {
+            "artifact": "comparison",
+            "packets": packets,
+            "payload_sizes": list(payload_sizes),
+            "seed": seed,
+            "cells": serial_stats.cells,
+        },
+        "serial": {
+            "wall_s": serial_stats.wall_s,
+            "events": serial_stats.events,
+            "events_per_second": serial_stats.events_per_second,
+        },
+        "parallel": {
+            "jobs": jobs,
+            "wall_s": parallel_stats.wall_s,
+            "events": parallel_stats.events,
+            "events_per_second": parallel_stats.events_per_second,
+        },
+        "speedup": speedup,
+        "parallel_matches_serial": identical,
+    }
+    path = os.path.join(out_dir, f"BENCH_{record['rev']}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+    return record, path
+
+
+def render_bench(record: dict) -> str:
+    """Human-readable summary of a bench record."""
+    serial = record["serial"]
+    parallel = record["parallel"]
+    lines = [
+        f"Bench @ {record['rev']} "
+        f"({record['workload']['packets']} packets x "
+        f"{len(record['workload']['payload_sizes'])} payloads x 2 drivers, "
+        f"{record['workload']['cells']} cells, {record['host']['cpus']} CPUs)",
+        f"  serial   (jobs=1): {serial['wall_s']:8.2f} s  "
+        f"{serial['events_per_second']:>12,.0f} events/s",
+        f"  parallel (jobs={parallel['jobs']}): {parallel['wall_s']:8.2f} s  "
+        f"{parallel['events_per_second']:>12,.0f} events/s",
+        f"  speedup: {record['speedup']:.2f}x; parallel output "
+        + ("bit-identical to serial" if record["parallel_matches_serial"]
+           else "DIFFERS from serial (BUG)"),
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,189 @@
+"""Cell decomposition and per-cell seed derivation.
+
+A *cell* is the smallest unit of experiment work whose result depends
+on nothing but its own parameters: one (driver, payload) latency
+measurement, one (driver, offered-rate) load point, one calibration
+ping-pong.  Decomposing an artifact into cells is what makes the
+process-pool fan-out legal -- cells share no simulator state, so they
+can run in any order on any worker.
+
+Seed derivation
+---------------
+
+Each cell's simulator seed is derived from the experiment's root seed
+through a :class:`numpy.random.SeedSequence` spawn key built from the
+cell's *identity* (kind, driver, payload / point index) -- never from
+worker IDs, submission order, or wall-clock time.  Two consequences:
+
+* the same root seed always produces the same per-cell seeds, so a
+  run is bit-reproducible regardless of worker count or completion
+  order;
+* distinct cells get statistically independent streams (SeedSequence's
+  spawn-key mixing), so fanning out does not correlate the noise
+  processes of different cells.
+
+This mirrors how the simulation kernel derives named random streams
+(:meth:`repro.sim.kernel.Simulator.rng` hashes the stream name into
+spawn-key material), extended one level up the hierarchy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.calibration import PAPER_PROFILE, CalibrationProfile
+
+
+def derive_cell_seed(root_seed: int, *identity: object) -> int:
+    """A 128-bit simulator seed for the cell named by *identity*.
+
+    The identity parts are joined into spawn-key material byte-wise, the
+    same scheme the kernel uses for named random streams, so the value
+    is stable across platforms and numpy versions that keep the
+    SeedSequence hashing contract.
+    """
+    material = ":".join(str(part) for part in identity).encode("utf-8")
+    child = np.random.SeedSequence(entropy=root_seed, spawn_key=tuple(material))
+    seed = 0
+    for shift, word in enumerate(child.generate_state(4, np.uint32)):
+        seed |= int(word) << (32 * shift)
+    return seed
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One independent unit of experiment work.
+
+    ``kind`` selects the worker routine:
+
+    * ``"latency"`` -- one payload size of the paper's ping-pong sweep
+      (uses ``payload``);
+    * ``"calibrate"`` -- the short closed-loop run that measures a
+      driver's base rate for auto-placing load points (uses
+      ``payload_sizes``);
+    * ``"openload"`` -- one offered-rate point of an open-loop sweep
+      (uses ``rate_pps``, ``arrival``, ``payload_sizes``);
+    * ``"closedload"`` -- one outstanding-count point of a closed-loop
+      sweep (uses ``outstanding``, ``payload_sizes``).
+    """
+
+    kind: str
+    driver: str
+    seed: int
+    packets: int
+    profile: CalibrationProfile
+    payload: Optional[int] = None
+    payload_sizes: Tuple[int, ...] = ()
+    rate_pps: Optional[float] = None
+    arrival: str = "poisson"
+    outstanding: Optional[int] = None
+
+    @property
+    def label(self) -> str:
+        """Human-readable identity (progress messages, bench records)."""
+        if self.kind == "latency":
+            return f"{self.driver}/{self.payload}B"
+        if self.kind == "calibrate":
+            return f"{self.driver}/calibrate"
+        if self.kind == "openload":
+            return f"{self.driver}/{self.rate_pps:.0f}pps"
+        return f"{self.driver}/N={self.outstanding}"
+
+
+def latency_cells(
+    payload_sizes: Sequence[int],
+    packets: int,
+    seed: int = 0,
+    profile: CalibrationProfile = PAPER_PROFILE,
+    drivers: Sequence[str] = ("virtio", "xdma"),
+) -> list[Cell]:
+    """Driver x payload decomposition of the latency artifacts."""
+    return [
+        Cell(
+            kind="latency",
+            driver=driver,
+            payload=payload,
+            packets=packets,
+            profile=profile,
+            seed=derive_cell_seed(seed, "latency", driver, payload),
+        )
+        for driver in drivers
+        for payload in payload_sizes
+    ]
+
+
+def calibration_cells(
+    drivers: Sequence[str],
+    payload_sizes: Sequence[int],
+    packets: int,
+    seed: int = 0,
+    profile: CalibrationProfile = PAPER_PROFILE,
+) -> list[Cell]:
+    """One base-rate calibration cell per driver."""
+    return [
+        Cell(
+            kind="calibrate",
+            driver=driver,
+            payload_sizes=tuple(payload_sizes),
+            packets=packets,
+            profile=profile,
+            seed=derive_cell_seed(seed, "calibrate", driver),
+        )
+        for driver in drivers
+    ]
+
+
+def open_sweep_cells(
+    driver: str,
+    rates: Sequence[float],
+    payload_sizes: Sequence[int],
+    packets: int,
+    seed: int = 0,
+    arrival: str = "poisson",
+    profile: CalibrationProfile = PAPER_PROFILE,
+) -> list[Cell]:
+    """Driver x offered-rate decomposition of an open-loop sweep.
+
+    The seed identity uses the *point index*, not the rate value: rates
+    auto-placed from a measured base rate are floats whose textual form
+    could vary, while the index is exact and stable.
+    """
+    return [
+        Cell(
+            kind="openload",
+            driver=driver,
+            rate_pps=rate,
+            arrival=arrival,
+            payload_sizes=tuple(payload_sizes),
+            packets=packets,
+            profile=profile,
+            seed=derive_cell_seed(seed, "openload", driver, index),
+        )
+        for index, rate in enumerate(rates)
+    ]
+
+
+def closed_sweep_cells(
+    driver: str,
+    outstanding: Sequence[int],
+    payload_sizes: Sequence[int],
+    packets: int,
+    seed: int = 0,
+    profile: CalibrationProfile = PAPER_PROFILE,
+) -> list[Cell]:
+    """Driver x outstanding-count decomposition of a closed-loop sweep."""
+    return [
+        Cell(
+            kind="closedload",
+            driver=driver,
+            outstanding=n,
+            payload_sizes=tuple(payload_sizes),
+            packets=packets,
+            profile=profile,
+            seed=derive_cell_seed(seed, "closedload", driver, n),
+        )
+        for n in outstanding
+    ]

@@ -1,0 +1,289 @@
+"""Process-pool execution of cells and the deterministic merge.
+
+``execute_cell`` is a pure function of its :class:`~repro.exec.cells.Cell`
+(it boots a fresh testbed from the cell's derived seed), so running
+cells across a process pool cannot change any result -- only the
+wall-clock time.  Results are merged back into the existing
+:class:`~repro.core.results.SweepResult` /
+:class:`~repro.core.results.ComparisonResult` /
+:class:`~repro.workload.sweep.LoadSweepResult` types **in cell
+construction order**, never completion order, which is what makes the
+output byte-identical across ``jobs=1``, ``jobs=2``, ``jobs=4``.
+
+``jobs=1`` runs the same cells in-process (no pool), so it doubles as
+the bit-exact reference for the pool path and keeps single-core runs
+free of fork/pickle overhead.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.calibration import PAPER_PROFILE, CalibrationProfile
+from repro.core.latency import run_virtio_payload, run_xdma_payload
+from repro.core.results import ComparisonResult, SweepResult
+from repro.core.testbed import build_virtio_testbed, build_xdma_testbed
+from repro.exec.cells import (
+    Cell,
+    calibration_cells,
+    closed_sweep_cells,
+    latency_cells,
+    open_sweep_cells,
+)
+from repro.workload.generator import ClosedLoopGenerator, OpenLoopGenerator
+from repro.workload.sweep import (
+    CALIBRATION_PACKETS,
+    DEFAULT_MULTIPLIERS,
+    ClosedSweepResult,
+    LoadPoint,
+    LoadSweepResult,
+)
+
+
+class ExecutionError(RuntimeError):
+    """A cell failed or the decomposition was invalid."""
+
+
+@dataclass
+class CellOutcome:
+    """What a worker sends back for one cell."""
+
+    cell: Cell
+    value: Any  # PayloadResult | RunMetrics | (rtt_us, rate_pps)
+    events: int  # simulator events the cell executed (perf accounting)
+    wall_s: float  # worker-side wall clock for the cell
+
+
+@dataclass
+class ExecutionStats:
+    """Aggregate accounting for one fan-out (feeds the bench records)."""
+
+    jobs: int
+    cells: int
+    events: int
+    wall_s: float  # end-to-end wall clock of the fan-out
+    cell_wall_s: float  # sum of per-cell worker wall clocks
+
+    @property
+    def events_per_second(self) -> float:
+        return self.events / self.wall_s if self.wall_s > 0 else 0.0
+
+
+def _builder(driver: str):
+    if driver == "virtio":
+        return build_virtio_testbed
+    if driver == "xdma":
+        return build_xdma_testbed
+    raise ExecutionError(f"unknown driver {driver!r} (expected 'virtio' or 'xdma')")
+
+
+def _make_sizes(payload_sizes: Sequence[int]):
+    from repro.workload.sizes import FixedSize, make_sizes
+
+    return make_sizes(list(payload_sizes)) if payload_sizes else FixedSize(64)
+
+
+def execute_cell(cell: Cell) -> CellOutcome:
+    """Run one cell to completion on a freshly booted testbed.
+
+    Module-level (picklable) and a pure function of *cell*: the only
+    inputs are the cell's parameters and its derived seed.
+    """
+    started = time.perf_counter()
+    testbed = _builder(cell.driver)(seed=cell.seed, profile=cell.profile)
+    if cell.kind == "latency":
+        runner = run_virtio_payload if cell.driver == "virtio" else run_xdma_payload
+        value: Any = runner(testbed, cell.payload, cell.packets)
+    elif cell.kind == "calibrate":
+        generator = ClosedLoopGenerator(
+            outstanding=1, sizes=_make_sizes(cell.payload_sizes),
+            packets=CALIBRATION_PACKETS,
+        )
+        metrics = testbed.run_workload(generator)
+        rtt_us = float(metrics.latency_ps.mean()) / 1e6
+        value = (rtt_us, 1e6 / rtt_us)
+    elif cell.kind == "openload":
+        from repro.workload.arrivals import make_arrivals
+
+        generator = OpenLoopGenerator(
+            arrivals=make_arrivals(cell.arrival, cell.rate_pps),
+            sizes=_make_sizes(cell.payload_sizes),
+            packets=cell.packets,
+        )
+        value = testbed.run_workload(generator)
+    elif cell.kind == "closedload":
+        generator = ClosedLoopGenerator(
+            outstanding=cell.outstanding,
+            sizes=_make_sizes(cell.payload_sizes),
+            packets=cell.packets,
+        )
+        value = testbed.run_workload(generator)
+    else:
+        raise ExecutionError(f"unknown cell kind {cell.kind!r}")
+    return CellOutcome(
+        cell=cell,
+        value=value,
+        events=testbed.sim.events_executed,
+        wall_s=time.perf_counter() - started,
+    )
+
+
+def _pool_context():
+    """Prefer fork (cheap, inherits the imported model code); fall back
+    to spawn on platforms without it."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def run_cells(cells: Sequence[Cell], jobs: int = 1) -> List[CellOutcome]:
+    """Execute *cells*, returning outcomes in cell order.
+
+    ``jobs=1`` runs in-process; ``jobs>1`` fans out over a process
+    pool.  Either way the returned list is indexed by the cells'
+    construction order, so downstream merges are order-deterministic.
+    """
+    jobs = max(1, int(jobs))
+    if jobs == 1 or len(cells) <= 1:
+        return [execute_cell(cell) for cell in cells]
+    outcomes: List[Optional[CellOutcome]] = [None] * len(cells)
+    workers = min(jobs, len(cells))
+    with ProcessPoolExecutor(max_workers=workers, mp_context=_pool_context()) as pool:
+        futures = {pool.submit(execute_cell, cell): i for i, cell in enumerate(cells)}
+        for future in as_completed(futures):
+            outcomes[futures[future]] = future.result()
+    return outcomes  # type: ignore[return-value]
+
+
+def _stats(outcomes: Sequence[CellOutcome], jobs: int, wall_s: float) -> ExecutionStats:
+    return ExecutionStats(
+        jobs=jobs,
+        cells=len(outcomes),
+        events=sum(o.events for o in outcomes),
+        wall_s=wall_s,
+        cell_wall_s=sum(o.wall_s for o in outcomes),
+    )
+
+
+# -- artifact-level entry points ---------------------------------------------------
+
+
+def execute_sweep(
+    driver: str,
+    payload_sizes: Sequence[int],
+    packets: int,
+    seed: int = 0,
+    profile: CalibrationProfile = PAPER_PROFILE,
+    jobs: int = 1,
+) -> Tuple[SweepResult, ExecutionStats]:
+    """One driver's payload sweep via the cell engine."""
+    started = time.perf_counter()
+    cells = latency_cells(payload_sizes, packets, seed, profile, drivers=(driver,))
+    outcomes = run_cells(cells, jobs)
+    sweep = SweepResult(driver=driver, seed=seed)
+    for outcome in outcomes:
+        sweep.add(outcome.value)
+    return sweep, _stats(outcomes, jobs, time.perf_counter() - started)
+
+
+def execute_comparison(
+    payload_sizes: Sequence[int],
+    packets: int,
+    seed: int = 0,
+    profile: CalibrationProfile = PAPER_PROFILE,
+    jobs: int = 1,
+) -> Tuple[ComparisonResult, ExecutionStats]:
+    """Both drivers' sweeps via the cell engine (one shared fan-out, so
+    all driver x payload cells load the pool at once)."""
+    started = time.perf_counter()
+    cells = latency_cells(payload_sizes, packets, seed, profile)
+    outcomes = run_cells(cells, jobs)
+    sweeps = {
+        "virtio": SweepResult(driver="virtio", seed=seed),
+        "xdma": SweepResult(driver="xdma", seed=seed),
+    }
+    for outcome in outcomes:
+        sweeps[outcome.cell.driver].add(outcome.value)
+    comparison = ComparisonResult(virtio=sweeps["virtio"], xdma=sweeps["xdma"])
+    return comparison, _stats(outcomes, jobs, time.perf_counter() - started)
+
+
+LoadResults = Dict[str, Union[LoadSweepResult, ClosedSweepResult]]
+
+
+def execute_load_sweep(
+    drivers: Sequence[str] = ("virtio", "xdma"),
+    packets: int = 400,
+    seed: int = 0,
+    profile: CalibrationProfile = PAPER_PROFILE,
+    rates: Optional[Sequence[float]] = None,
+    outstanding: Optional[Sequence[int]] = None,
+    arrival: str = "poisson",
+    payload_sizes: Sequence[int] = (64,),
+    jobs: int = 1,
+) -> Tuple[LoadResults, ExecutionStats]:
+    """Load sweeps for all drivers via the cell engine.
+
+    Open-loop sweeps are two fan-outs: all drivers' calibration cells
+    first (their base rates place the load points), then every
+    driver x rate cell at once.  Closed-loop sweeps are a single
+    driver x outstanding fan-out.
+    """
+    started = time.perf_counter()
+    results: LoadResults = {}
+    if outstanding:
+        cells: List[Cell] = []
+        for driver in drivers:
+            cells.extend(
+                closed_sweep_cells(driver, outstanding, payload_sizes, packets,
+                                   seed, profile)
+            )
+        outcomes = run_cells(cells, jobs)
+        per_driver: Dict[str, list] = {driver: [] for driver in drivers}
+        for outcome in outcomes:
+            per_driver[outcome.cell.driver].append(outcome.value)
+        for driver in drivers:
+            results[driver] = ClosedSweepResult(
+                driver=driver, seed=seed, points=per_driver[driver]
+            )
+        return results, _stats(outcomes, jobs, time.perf_counter() - started)
+
+    cal_cells = calibration_cells(drivers, payload_sizes, packets, seed, profile)
+    cal_outcomes = run_cells(cal_cells, jobs)
+    base: Dict[str, Tuple[float, float]] = {
+        outcome.cell.driver: outcome.value for outcome in cal_outcomes
+    }
+
+    point_cells: List[Cell] = []
+    offered: Dict[str, List[float]] = {}
+    for driver in drivers:
+        _, base_rate = base[driver]
+        offered[driver] = list(rates) if rates else [m * base_rate for m in DEFAULT_MULTIPLIERS]
+        if not offered[driver]:
+            raise ExecutionError("load sweep needs at least one offered-load point")
+        point_cells.extend(
+            open_sweep_cells(driver, offered[driver], payload_sizes, packets,
+                             seed, arrival, profile)
+        )
+    point_outcomes = run_cells(point_cells, jobs)
+
+    per_driver_points: Dict[str, List[LoadPoint]] = {driver: [] for driver in drivers}
+    for outcome in point_outcomes:
+        per_driver_points[outcome.cell.driver].append(
+            LoadPoint(offered_pps=outcome.cell.rate_pps, metrics=outcome.value)
+        )
+    for driver in drivers:
+        rtt_us, base_rate = base[driver]
+        results[driver] = LoadSweepResult(
+            driver=driver,
+            seed=seed,
+            arrival_kind=arrival,
+            base_rtt_us=rtt_us,
+            base_rate_pps=base_rate,
+            points=per_driver_points[driver],
+        )
+    all_outcomes = list(cal_outcomes) + list(point_outcomes)
+    return results, _stats(all_outcomes, jobs, time.perf_counter() - started)

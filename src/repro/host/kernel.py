@@ -54,6 +54,13 @@ class HostKernel(Component):
         self.clock = MonotonicClock(sim)
         self.irqc = InterruptController(sim, self, parent=self)
         rc.set_msi_handler(self.irqc.deliver_msi)
+        # ``cpu`` runs once per software segment of every simulated
+        # round trip; resolve its two random streams once here instead
+        # of re-deriving the component path and hitting the simulator's
+        # stream table on every call.  The streams are name-derived, so
+        # early creation does not change any draw sequence.
+        self._cpu_rng = self.rng("cpu")
+        self._interference_rng = self.rng("interference")
 
     # -- CPU time ---------------------------------------------------------------
 
@@ -64,8 +71,8 @@ class HostKernel(Component):
         per-byte copy cost) before interference is applied, so long
         copies are proportionally more likely to be preempted.
         """
-        duration = self.costs.segment(segment).sample(self.rng("cpu")) + extra_ps
-        stall = self.costs.interference.stall_during(duration, self.rng("interference"))
+        duration = self.costs.segment(segment).sample(self._cpu_rng) + extra_ps
+        stall = self.costs.interference.stall_during(duration, self._interference_rng)
         if stall:
             self.trace("preemption", segment=segment, stall_ps=stall)
         return duration + stall

@@ -28,6 +28,12 @@ from repro.sim.process import Process, ProcessError, ProcessGenerator, process_n
 from repro.sim.time import SimTime
 
 
+#: Sentinel bound for "no limit" in the event loop: comparing integer
+#: timestamps / counters against +inf is branch-predictable and avoids a
+#: per-event ``is not None`` check on the hot path.
+_NO_LIMIT = float("inf")
+
+
 class SimulationError(RuntimeError):
     """Raised for kernel-level protocol violations."""
 
@@ -77,6 +83,10 @@ class Simulator:
 
     def schedule_at(self, when: SimTime, callback: Callable[..., None], *args: Any) -> None:
         """Run ``callback(*args)`` at absolute time *when*."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past: requested t={when}ps, now t={self._now}ps"
+            )
         self.schedule(when - self._now, callback, *args)
 
     def timeout(self, delay: SimTime, value: Any = None, name: str = "") -> Timeout:
@@ -119,28 +129,42 @@ class Simulator:
         until:
             Absolute stop time (inclusive of events at exactly *until*).
         max_events:
-            Safety valve for runaway models; raises if exceeded.
+            Safety valve for runaway models; raises as soon as a
+            further callback would exceed the budget, so exactly
+            *max_events* callbacks have run when it fires.
 
         Returns
         -------
         The simulation time when the loop stopped.
         """
+        # The loop body is the hottest code in the repository (one
+        # iteration per simulated event); bind the heap, the pop, and
+        # the stop bound to locals so each iteration avoids repeated
+        # attribute and global lookups.
         executed = 0
-        while self._queue:
-            if self._pending_failure is not None:
-                failure, self._pending_failure = self._pending_failure, None
-                raise failure
-            when = self._queue[0][0]
-            if until is not None and when > until:
-                self._now = until
-                break
-            _, _, callback, args = heapq.heappop(self._queue)
-            self._now = when
-            callback(*args)
-            executed += 1
-            self._events_executed += 1
-            if max_events is not None and executed > max_events:
-                raise SimulationError(f"exceeded max_events={max_events} at t={self._now}ps")
+        queue = self._queue
+        heappop = heapq.heappop
+        stop = _NO_LIMIT if until is None else until
+        budget = _NO_LIMIT if max_events is None else max_events
+        try:
+            while queue:
+                if self._pending_failure is not None:
+                    failure, self._pending_failure = self._pending_failure, None
+                    raise failure
+                when = queue[0][0]
+                if when > stop:
+                    self._now = until
+                    break
+                if executed >= budget:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events} at t={self._now}ps"
+                    )
+                entry = heappop(queue)
+                self._now = when
+                entry[2](*entry[3])
+                executed += 1
+        finally:
+            self._events_executed += executed
         if self._pending_failure is not None:
             failure, self._pending_failure = self._pending_failure, None
             raise failure
@@ -157,19 +181,28 @@ class Simulator:
             If the queue drains (or *limit* passes) with the event still
             pending -- a deadlock in the model.
         """
-        while not event.triggered:
-            if not self._queue:
-                raise SimulationError(f"deadlock: queue empty while waiting for {event!r}")
-            if limit is not None and self._queue[0][0] > limit:
-                raise SimulationError(f"timeout at {limit}ps waiting for {event!r}")
-            when = self._queue[0][0]
-            _, _, callback, args = heapq.heappop(self._queue)
-            self._now = when
-            callback(*args)
-            self._events_executed += 1
-            if self._pending_failure is not None:
-                failure, self._pending_failure = self._pending_failure, None
-                raise failure
+        queue = self._queue
+        heappop = heapq.heappop
+        stop = _NO_LIMIT if limit is None else limit
+        executed = 0
+        try:
+            while not event._triggered:
+                if not queue:
+                    raise SimulationError(
+                        f"deadlock: queue empty while waiting for {event!r}"
+                    )
+                when = queue[0][0]
+                if when > stop:
+                    raise SimulationError(f"timeout at {limit}ps waiting for {event!r}")
+                entry = heappop(queue)
+                self._now = when
+                entry[2](*entry[3])
+                executed += 1
+                if self._pending_failure is not None:
+                    failure, self._pending_failure = self._pending_failure, None
+                    raise failure
+        finally:
+            self._events_executed += executed
         return event.value
 
     @property

@@ -100,3 +100,41 @@ class TestJsonFlag:
         for artifact in ("fig3", "fig4", "fig5", "claims", "all"):
             with pytest.raises(SystemExit):
                 main([artifact, "--json", "--packets", "10", "--payloads", "64"])
+
+
+class TestParallelCli:
+    def test_jobs_flag_output_matches_single_worker(self, capsys):
+        argv = ["table1", "--packets", "40", "--payloads", "64", "--seed", "2"]
+        assert main(argv + ["--jobs", "1"]) == 0
+        first = capsys.readouterr().out
+        assert main(argv + ["-j", "2"]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_jobs_zero_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table1", "--packets", "10", "--payloads", "64", "--jobs", "0"])
+
+    def test_bench_writes_record(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        argv = ["bench", "--packets", "40", "--payloads", "64", "--jobs", "2"]
+        assert main(argv) == 0
+        files = list(tmp_path.glob("BENCH_*.json"))
+        assert len(files) == 1
+        record = json.loads(files[0].read_text())
+        assert record["schema"] == "bench-v1"
+        assert record["parallel_matches_serial"] is True
+        assert record["speedup"] > 0
+        assert record["serial"]["events"] == record["parallel"]["events"]
+        assert "speedup" in capsys.readouterr().out
+
+    def test_bench_json_output(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        argv = ["bench", "--packets", "30", "--payloads", "64", "-j", "2", "--json"]
+        assert main(argv) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["workload"]["packets"] == 30
+
+    def test_bench_requires_two_jobs(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "--packets", "10", "--payloads", "64", "--jobs", "1"])

@@ -59,6 +59,38 @@ class TestScheduling:
         with pytest.raises(SimulationError):
             sim.run(max_events=100)
 
+    def test_max_events_stops_at_exactly_the_budget(self, sim):
+        """Regression: the guard used to fire only after max_events + 1
+        callbacks; it must stop at exactly max_events."""
+        executed = []
+
+        def rearm():
+            executed.append(sim.now)
+            sim.schedule(1, rearm)
+
+        sim.schedule(0, rearm)
+        with pytest.raises(SimulationError, match="max_events=5"):
+            sim.run(max_events=5)
+        assert len(executed) == 5
+        assert sim.events_executed == 5
+
+    def test_max_events_not_raised_when_queue_drains_at_budget(self, sim):
+        hits = []
+        for i in range(5):
+            sim.schedule(ns(i), hits.append, i)
+        sim.run(max_events=5)
+        assert hits == [0, 1, 2, 3, 4]
+
+    def test_schedule_at_past_reports_absolute_times(self, sim):
+        sim.schedule(ns(10), lambda: None)
+        sim.run()
+        assert sim.now == ns(10)
+        with pytest.raises(SimulationError) as excinfo:
+            sim.schedule_at(ns(3), lambda: None)
+        message = str(excinfo.value)
+        assert f"requested t={ns(3)}ps" in message
+        assert f"now t={ns(10)}ps" in message
+
 
 class TestProcesses:
     def test_process_yields_delay(self, sim):
