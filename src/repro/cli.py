@@ -16,6 +16,14 @@ workload engine, swept across offered-load points::
     virtio-fpga-repro loadsweep --rate 20000 40000 80000 --distribution bursty
     virtio-fpga-repro loadsweep --outstanding 1 2 4 8 --json
 
+``faultsweep`` exercises the fault-injection subsystem: each driver's
+canonical recoverable fault across increasing rates (E-F1), or the
+VirtIO reset/renegotiation storm (E-F2)::
+
+    virtio-fpga-repro faultsweep --json
+    virtio-fpga-repro faultsweep --fault-rates 0 0.01 0.05 -j 4
+    virtio-fpga-repro faultsweep --scenario reset --every 25
+
 ``--jobs/-j`` fans any artifact out over a process pool (bit-identical
 output for any worker count), and ``bench`` records the serial vs
 parallel perf trajectory::
@@ -44,7 +52,11 @@ from repro.core.experiments import (
     table1,
     verify_paper_claims,
 )
+from repro.core.results import breakdown_rows
 from repro.workload.arrivals import ARRIVAL_KINDS
+
+#: Artifacts with a machine-readable rendering behind ``--json``.
+JSON_ARTIFACTS = ("fig3", "fig4", "fig5", "table1", "loadsweep", "faultsweep", "bench")
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -58,9 +70,13 @@ def _parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "artifact",
-        choices=["fig3", "fig4", "fig5", "table1", "claims", "loadsweep", "bench", "all"],
+        choices=[
+            "fig3", "fig4", "fig5", "table1", "claims", "loadsweep",
+            "faultsweep", "bench", "all",
+        ],
         help="which artifact to regenerate (loadsweep: workload-engine "
-        "offered-load sweep, beyond the paper; bench: time a serial vs "
+        "offered-load sweep, beyond the paper; faultsweep: fault-injection "
+        "reliability sweep, beyond the paper; bench: time a serial vs "
         "parallel reproduction and write BENCH_<rev>.json)",
     )
     parser.add_argument(
@@ -95,7 +111,7 @@ def _parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="emit machine-readable JSON instead of text tables "
-        "(table1 and loadsweep only)",
+        f"(supported: {', '.join(JSON_ARTIFACTS)})",
     )
     sweep = parser.add_argument_group("loadsweep options")
     sweep.add_argument(
@@ -123,18 +139,52 @@ def _parser() -> argparse.ArgumentParser:
         default="poisson",
         help="open-loop arrival process (default: poisson)",
     )
+    faults = parser.add_argument_group("faultsweep options")
+    faults.add_argument(
+        "--fault-rates",
+        type=float,
+        nargs="+",
+        default=None,
+        metavar="P",
+        help="per-opportunity fault probabilities to sweep (default: "
+        "0 0.002 0.01 0.05; rate 0 is the fault-free baseline and is "
+        "bit-identical to a run without any fault plan)",
+    )
+    faults.add_argument(
+        "--scenario",
+        choices=["rate", "reset"],
+        default="rate",
+        help="'rate' (E-F1): tail latency vs fault rate for both drivers; "
+        "'reset' (E-F2): VirtIO reset/renegotiation recovery under a "
+        "malformed-chain storm (default: rate)",
+    )
+    faults.add_argument(
+        "--every",
+        type=int,
+        default=25,
+        metavar="N",
+        help="reset scenario: corrupt every N-th TX descriptor-chain "
+        "fetch (default: 25)",
+    )
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = _parser()
     args = parser.parse_args(argv)
-    if args.json and args.artifact not in ("table1", "loadsweep", "bench"):
-        parser.error("--json is only supported for table1, loadsweep, and bench")
+    if args.json and args.artifact not in JSON_ARTIFACTS:
+        parser.error(
+            f"--json is not supported for {args.artifact!r} "
+            f"(supported: {', '.join(JSON_ARTIFACTS)})"
+        )
     if args.rate and any(r <= 0 for r in args.rate):
         parser.error("--rate values must be positive (packets/s)")
     if args.outstanding and any(n <= 0 for n in args.outstanding):
         parser.error("--outstanding values must be positive")
+    if args.fault_rates and any(not 0.0 <= p <= 1.0 for p in args.fault_rates):
+        parser.error("--fault-rates values must be probabilities in [0, 1]")
+    if args.every <= 0:
+        parser.error("--every must be positive")
     if args.jobs is not None and args.jobs < 1:
         parser.error("--jobs must be >= 1")
 
@@ -192,20 +242,91 @@ def main(argv: Optional[List[str]] = None) -> int:
             file=sys.stderr,
         )
         return 0
+    if args.artifact == "faultsweep":
+        from repro.faults.experiments import (
+            DEFAULT_FAULT_RATES,
+            run_fault_sweep,
+            run_reset_recovery,
+        )
+
+        packets = args.packets if args.packets is not None else default_packets(300)
+        payload = args.payloads[0] if args.payloads else 64
+        if args.scenario == "reset":
+            result, text = run_reset_recovery(
+                every=args.every, payload=payload, packets=packets, seed=args.seed
+            )
+        else:
+            rates = tuple(args.fault_rates) if args.fault_rates else DEFAULT_FAULT_RATES
+            result, text = run_fault_sweep(
+                rates=rates, payload=payload, packets=packets, seed=args.seed,
+                jobs=args.jobs,
+            )
+        if args.json:
+            print(json.dumps(
+                dict(result.as_dict(), artifact="faultsweep", scenario=args.scenario),
+                indent=2,
+            ))
+        else:
+            print(text)
+        print(
+            f"\n[faultsweep/{args.scenario}: {packets} packets/cell, "
+            f"seed {args.seed}, {time.time() - started:.1f}s]",
+            file=sys.stderr,
+        )
+        return 0
 
     packets = args.packets if args.packets is not None else default_packets()
     payloads = args.payloads if args.payloads is not None else list(PAPER_PAYLOAD_SIZES)
     kwargs = dict(payload_sizes=payloads, packets=packets, seed=args.seed, jobs=args.jobs)
 
     if args.artifact == "fig3":
-        _, text = figure3(**kwargs)
-        print(text)
-    elif args.artifact == "fig4":
-        _, text = figure4(**kwargs)
-        print(text)
-    elif args.artifact == "fig5":
-        _, text = figure5(**kwargs)
-        print(text)
+        comparison, text = figure3(**kwargs)
+        if args.json:
+            drivers = {
+                name: {
+                    str(payload): sweep[payload].rtt_summary().as_dict()
+                    for payload in sweep.payload_sizes()
+                }
+                for name, sweep in (
+                    ("virtio", comparison.virtio), ("xdma", comparison.xdma)
+                )
+            }
+            print(json.dumps(
+                {
+                    "artifact": "fig3",
+                    "seed": args.seed,
+                    "packets": packets,
+                    "drivers": drivers,
+                },
+                indent=2,
+            ))
+        else:
+            print(text)
+    elif args.artifact in ("fig4", "fig5"):
+        sweep, text = (figure4 if args.artifact == "fig4" else figure5)(**kwargs)
+        if args.json:
+            print(json.dumps(
+                {
+                    "artifact": args.artifact,
+                    "driver": sweep.driver,
+                    "seed": args.seed,
+                    "packets": packets,
+                    "breakdown": [
+                        {
+                            "payload": row.payload,
+                            "hw_mean_us": row.hw_mean_us,
+                            "hw_std_us": row.hw_std_us,
+                            "sw_mean_us": row.sw_mean_us,
+                            "sw_std_us": row.sw_std_us,
+                            "total_mean_us": row.total_mean_us,
+                        }
+                        for row in breakdown_rows(sweep)
+                    ],
+                },
+                indent=2,
+            ))
+        else:
+            print(text)
     elif args.artifact == "table1":
         comparison, text = table1(**kwargs)
         if args.json:

@@ -88,10 +88,19 @@ def _xdma_app(
         yield kernel.cpu("app_work")
 
 
-def _collect(perf, counter: str, packets: int) -> np.ndarray:
-    """Drain a perf counter's intervals, validating the packet count."""
+def _collect(perf, counter: str, packets: int, strict: bool = True) -> np.ndarray:
+    """Drain a perf counter's intervals, validating the packet count.
+
+    With ``strict=False`` (fault-injection runs, where retries and
+    resets legitimately disturb the one-interval-per-packet invariant) a
+    mismatch yields zeros instead of failing the experiment: the
+    hardware breakdown is undefined under faults, but the RTT
+    distribution -- what the fault experiments measure -- is not.
+    """
     values = perf.intervals_array(counter)
     if len(values) != packets:
+        if not strict:
+            return np.zeros(packets, dtype=np.int64)
         raise ExperimentError(
             f"counter {counter!r} recorded {len(values)} intervals for {packets} packets"
         )
@@ -111,8 +120,11 @@ def run_virtio_payload(
         _virtio_app(testbed, payload_size, packets, rtts), name="virtio-app"
     )
     testbed.sim.run_until_triggered(app)
-    hw = _collect(perf, "virtio_h2c", packets) + _collect(perf, "virtio_c2h", packets)
-    resp = _collect(perf, "virtio_resp", packets)
+    strict = testbed.injector is None
+    hw = _collect(perf, "virtio_h2c", packets, strict) + _collect(
+        perf, "virtio_c2h", packets, strict
+    )
+    resp = _collect(perf, "virtio_resp", packets, strict)
     return PayloadResult(
         payload=payload_size,
         rtt_ps=np.asarray(rtts, dtype=np.int64),
@@ -138,7 +150,10 @@ def run_xdma_payload(
     rtts: List[int] = []
     app = testbed.sim.spawn(_xdma_app(testbed, transfer, packets, rtts), name="xdma-app")
     testbed.sim.run_until_triggered(app)
-    hw = _collect(perf, "h2c0_dma", packets) + _collect(perf, "c2h0_dma", packets)
+    strict = testbed.injector is None
+    hw = _collect(perf, "h2c0_dma", packets, strict) + _collect(
+        perf, "c2h0_dma", packets, strict
+    )
     return PayloadResult(
         payload=payload_size,
         rtt_ps=np.asarray(rtts, dtype=np.int64),
@@ -154,8 +169,17 @@ def run_latency_sweep(
     testbed: Testbed,
     payload_sizes: Iterable[int] = PAPER_PAYLOAD_SIZES,
     packets: int = 2000,
+    fault_plan=None,
 ) -> SweepResult:
-    """Run the full payload sweep on either testbed."""
+    """Run the full payload sweep on either testbed.
+
+    *fault_plan* (a :class:`repro.faults.FaultPlan`) attaches an
+    injector before the sweep when the testbed does not carry one yet.
+    """
+    if fault_plan is not None and testbed.injector is None:
+        from repro.faults.injector import attach_fault_plan
+
+        attach_fault_plan(testbed, fault_plan)
     if isinstance(testbed, VirtioTestbed):
         sweep = SweepResult(driver="virtio", seed=testbed.sim.seed)
         for size in payload_sizes:

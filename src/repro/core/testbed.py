@@ -43,6 +43,8 @@ from repro.virtio.controller.device import VirtioFpgaDevice
 from repro.virtio.controller.net import VirtioNetPersonality
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.injector import FaultInjector
+    from repro.faults.plan import FaultPlan
     from repro.workload.metrics import RunMetrics
 
 
@@ -73,6 +75,7 @@ class VirtioTestbed:
     user_logic: UserLogic
     function: DiscoveredFunction
     profile: CalibrationProfile
+    injector: Optional["FaultInjector"] = None
 
     @property
     def perf(self):
@@ -92,8 +95,15 @@ class VirtioTestbed:
         (open-loop generators tail-drop when it cannot)."""
         return self.driver.tx_has_room()
 
-    def run_workload(self, generator) -> "RunMetrics":
-        """Attach a workload generator and drive it to completion."""
+    def run_workload(self, generator, fault_plan: Optional["FaultPlan"] = None) -> "RunMetrics":
+        """Attach a workload generator and drive it to completion.
+
+        *fault_plan* attaches an injector first (no-op when one is
+        already attached)."""
+        if fault_plan is not None and self.injector is None:
+            from repro.faults.injector import attach_fault_plan
+
+            attach_fault_plan(self, fault_plan)
         return generator.run(self)
 
 
@@ -107,13 +117,21 @@ class XdmaTestbed:
     driver: XdmaCharDriver
     function: DiscoveredFunction
     profile: CalibrationProfile
+    injector: Optional["FaultInjector"] = None
 
     @property
     def perf(self):
         return self.xdma.perf
 
-    def run_workload(self, generator) -> "RunMetrics":
-        """Attach a workload generator and drive it to completion."""
+    def run_workload(self, generator, fault_plan: Optional["FaultPlan"] = None) -> "RunMetrics":
+        """Attach a workload generator and drive it to completion.
+
+        *fault_plan* attaches an injector first (no-op when one is
+        already attached)."""
+        if fault_plan is not None and self.injector is None:
+            from repro.faults.injector import attach_fault_plan
+
+            attach_fault_plan(self, fault_plan)
         return generator.run(self)
 
 
@@ -122,8 +140,14 @@ def build_virtio_testbed(
     profile: CalibrationProfile = PAPER_PROFILE,
     tracer: Optional[Tracer] = None,
     user_logic: Optional[UserLogic] = None,
+    fault_plan: Optional["FaultPlan"] = None,
 ) -> VirtioTestbed:
-    """Construct and boot the VirtIO NIC testbed."""
+    """Construct and boot the VirtIO NIC testbed.
+
+    When *fault_plan* is given, a :class:`~repro.faults.FaultInjector`
+    is attached *after* boot (the probe always runs fault-free), so
+    only post-boot traffic is subject to injection.
+    """
     sim = Simulator(seed=seed)
     rc = RootComplex(
         sim, memory_read_latency_ns=profile.host_memory_read_ns, tracer=tracer
@@ -168,7 +192,7 @@ def build_virtio_testbed(
     socket = UdpSocket(kernel, stack)
     socket.bind(TEST_SRC_PORT)
 
-    return VirtioTestbed(
+    testbed = VirtioTestbed(
         sim=sim,
         kernel=kernel,
         stack=stack,
@@ -179,6 +203,11 @@ def build_virtio_testbed(
         function=function,
         profile=profile,
     )
+    if fault_plan is not None:
+        from repro.faults.injector import attach_fault_plan
+
+        attach_fault_plan(testbed, fault_plan)
+    return testbed
 
 
 def build_xdma_testbed(
@@ -186,6 +215,7 @@ def build_xdma_testbed(
     profile: CalibrationProfile = PAPER_PROFILE,
     tracer: Optional[Tracer] = None,
     bram_size: int = 64 << 10,
+    fault_plan: Optional["FaultPlan"] = None,
 ) -> XdmaTestbed:
     """Construct and boot the XDMA example-design testbed.
 
@@ -236,9 +266,14 @@ def build_xdma_testbed(
 
         engine.completion_hook = _process_then_notify
 
-    return XdmaTestbed(
+    testbed = XdmaTestbed(
         sim=sim, kernel=kernel, xdma=xdma, driver=driver, function=function, profile=profile
     )
+    if fault_plan is not None:
+        from repro.faults.injector import attach_fault_plan
+
+        attach_fault_plan(testbed, fault_plan)
+    return testbed
 
 
 @dataclass

@@ -34,7 +34,9 @@ from repro.host.netstack.netdev import (
 from repro.host.netstack.skb import CHECKSUM_PARTIAL, CHECKSUM_UNNECESSARY, Skb
 from repro.host.netstack.stack import NetworkStack
 from repro.mem.dma import DmaBuffer
+from repro.sim.time import ns
 from repro.virtio.constants import (
+    STATUS_DEVICE_NEEDS_RESET,
     VIRTIO_F_VERSION_1,
     VIRTIO_NET_F_CSUM,
     VIRTIO_NET_F_CTRL_VQ,
@@ -107,6 +109,23 @@ class VirtioNetDriver:
         self._ctrl_status = None
         self._ctrl_pending = None
         self.ctrl_commands = 0
+        # Fault tolerance (active only when repro.faults attaches an
+        # injector; every hook below is gated on ``injector``).
+        self.injector = None
+        self.watchdog_timeout_ns = 1_000_000.0
+        self.max_watchdog_kicks = 3
+        self._pending_tx: Dict[int, tuple] = {}  # chain head -> (addr, len)
+        self._watchdog_armed = False
+        self._watchdog_snapshot = 0
+        self._watchdog_kicks = 0
+        self._stall_started_at: Optional[int] = None
+        self._recovering = False
+        self.watchdog_stalls = 0
+        self.watchdog_rekicks = 0
+        self.device_resets = 0
+        self.needs_reset_seen = 0
+        self.requests_failed = 0
+        self.recovery_latencies_ps: List[int] = []
 
     # -- probe --------------------------------------------------------------------
 
@@ -146,6 +165,7 @@ class VirtioNetDriver:
         self.kernel.irqc.register(rx_vector, self._rx_interrupt)
         tx_vector = transport.queue_vector(TRANSMITQ)
         self.kernel.irqc.register(tx_vector, self._tx_interrupt)
+        self.kernel.irqc.register(transport.config_vector, self._config_interrupt)
 
         # Control queue, when the device exposes one.
         self.has_ctrl_vq = (
@@ -196,6 +216,7 @@ class VirtioNetDriver:
             elem = vq.get_used()
             assert elem is not None
             self._tx_outstanding -= 1
+            self._pending_tx.pop(elem.head, None)
             yield kernel.cpu("virtio_get_buf")
 
         header = VirtioNetHeader(num_buffers=0)
@@ -216,12 +237,17 @@ class VirtioNetDriver:
         # CPU cost is the virtio_add_buf segment.
         buffer.write(payload)
         yield kernel.cpu("virtio_add_buf")
-        vq.add_buffer([(buffer.addr, len(payload))], [])
+        head = vq.add_buffer([(buffer.addr, len(payload))], [])
         vq.publish()
+        self._pending_tx[head] = (buffer.addr, len(payload))
         self._tx_outstanding += 1
         # The single runtime doorbell (Section IV-A).
         self.tx_kicks += 1
         yield from self.transport.notify(TRANSMITQ)
+        if self.injector is not None and not self._watchdog_armed:
+            self._watchdog_armed = True
+            self._watchdog_snapshot = vq.device_used_idx()
+            self.kernel.sim.spawn(self._watchdog(), name=f"{self.ifname}.tx-watchdog")
 
     # -- receive path ---------------------------------------------------------------------
 
@@ -275,6 +301,130 @@ class VirtioNetDriver:
             vq.publish()
             yield from self.transport.notify(RECEIVEQ)
         return harvested
+
+    # -- fault recovery ---------------------------------------------------------------------
+
+    def _watchdog(self) -> Generator[Any, Any, None]:
+        """TX watchdog (the model's ``ndo_tx_timeout`` path): while
+        transmissions are pending, check that the device keeps making
+        used-ring progress.  A stalled queue is re-kicked a bounded
+        number of times (recovers lost doorbells), then escalated to a
+        full device reset.  All checks are pure ring-memory reads, so an
+        idle watchdog never perturbs the simulation's RNG streams."""
+        try:
+            while True:
+                yield self.kernel.sim.timeout(
+                    ns(self.watchdog_timeout_ns), name=f"{self.ifname}.watchdog"
+                )
+                if self._recovering or not self._pending_tx:
+                    return
+                vq = self.transport.queue(TRANSMITQ)
+                used_idx = vq.device_used_idx()
+                if used_idx != self._watchdog_snapshot:
+                    # Progress since the last check: healthy.
+                    self._watchdog_snapshot = used_idx
+                    self._watchdog_kicks = 0
+                    if self._stall_started_at is not None:
+                        self.recovery_latencies_ps.append(
+                            self.kernel.sim.now - self._stall_started_at
+                        )
+                        self._stall_started_at = None
+                    continue
+                if vq.has_used():
+                    # Completions are parked in the used ring waiting for
+                    # the next xmit's opportunistic clean -- host-side
+                    # laziness, not a device stall (and the normal state
+                    # once traffic ends).
+                    return
+                self.watchdog_stalls += 1
+                if self._stall_started_at is None:
+                    self._stall_started_at = self.kernel.sim.now
+                if self._watchdog_kicks < self.max_watchdog_kicks:
+                    self._watchdog_kicks += 1
+                    self.watchdog_rekicks += 1
+                    yield from self.transport.notify(TRANSMITQ)
+                    continue
+                self._watchdog_kicks = 0
+                self._begin_recovery()
+                return
+        finally:
+            self._watchdog_armed = False
+
+    def _config_interrupt(self) -> Generator[Any, Any, None]:
+        """Configuration-change ISR: on DEVICE_NEEDS_RESET, schedule the
+        reset/re-negotiation work outside the hard-IRQ path."""
+        yield self.kernel.cpu("driver_irq_ack")
+        yield from self.transport.isr_read()  # read-to-clear
+        status = yield from self.transport.common_read("device_status")
+        if status & STATUS_DEVICE_NEEDS_RESET:
+            self.needs_reset_seen += 1
+            self._begin_recovery()
+
+    def _begin_recovery(self) -> None:
+        if self._recovering:
+            return
+        self._recovering = True
+        self.kernel.sim.spawn(self._recover(), name=f"{self.ifname}.reset-recovery")
+
+    def _recover(self) -> Generator[Any, Any, None]:
+        """Reset the device and drive the full 3.1.1 re-initialization,
+        then restore runtime state: RX refill from the persistent buffer
+        pool and replay of every in-flight TX chain (their pool buffers
+        still hold the frames), so no packet is lost across the reset."""
+        start = self._stall_started_at
+        if start is None:
+            start = self.kernel.sim.now
+        self._stall_started_at = None
+        self.device_resets += 1
+        transport = self.transport
+        # Harvest completions parked in the used ring first: a chain the
+        # device already consumed must not be replayed (it would arrive
+        # twice), only chains still genuinely in flight.
+        old_tx = transport.queue(TRANSMITQ)
+        while old_tx.has_used():
+            elem = old_tx.get_used()
+            assert elem is not None
+            self._tx_outstanding -= 1
+            self._pending_tx.pop(elem.head, None)
+            yield self.kernel.cpu("virtio_get_buf")
+        pending = list(self._pending_tx.values())  # FIFO submission order
+        self._pending_tx.clear()
+        self._tx_outstanding = 0
+        for index in range(len(transport.virtqueues)):
+            self.kernel.irqc.unregister(transport.queue_vector(index))
+        rx_pool = list(self._rx_buffers.values())
+        self._rx_buffers.clear()
+        transport.reset_runtime_state()
+        yield from transport.initialize(DRIVER_SUPPORTED)
+        self.kernel.irqc.register(transport.queue_vector(RECEIVEQ), self._rx_interrupt)
+        self.kernel.irqc.register(transport.queue_vector(TRANSMITQ), self._tx_interrupt)
+        if self.has_ctrl_vq and len(transport.virtqueues) > CTRLQ:
+            self.kernel.irqc.register(transport.queue_vector(CTRLQ), self._ctrl_interrupt)
+        transport.queue(TRANSMITQ).set_avail_no_interrupt(True)
+        rx_vq = transport.queue(RECEIVEQ)
+        for buffer in rx_pool:
+            head = rx_vq.add_buffer([], [(buffer.addr, RX_BUFFER_SIZE)])
+            self._rx_buffers[head] = buffer
+        rx_vq.publish()
+        yield from transport.notify(RECEIVEQ)
+        tx_vq = transport.queue(TRANSMITQ)
+        for addr, length in pending:
+            yield self.kernel.cpu("virtio_add_buf")
+            head = tx_vq.add_buffer([(addr, length)], [])
+            self._pending_tx[head] = (addr, length)
+            self._tx_outstanding += 1
+        if pending:
+            tx_vq.publish()
+            self.tx_kicks += 1
+            yield from self.transport.notify(TRANSMITQ)
+        self.recovery_latencies_ps.append(self.kernel.sim.now - start)
+        self._recovering = False
+        if pending and not self._watchdog_armed:
+            # Keep watching the replayed chains (their kick could itself
+            # be swallowed by a lost-notification fault).
+            self._watchdog_armed = True
+            self._watchdog_snapshot = tx_vq.device_used_idx()
+            self.kernel.sim.spawn(self._watchdog(), name=f"{self.ifname}.tx-watchdog")
 
     # -- control queue ----------------------------------------------------------------------
 

@@ -69,6 +69,7 @@ class VirtioPciTransport:
     notify_addrs: List[int] = field(default_factory=list)
     queue_vectors_assigned: List[int] = field(default_factory=list)
     msix_vectors_used: int = 0
+    config_vector: int = -1
 
     # -- small MMIO helpers over the common structure -----------------------------
 
@@ -208,8 +209,9 @@ class VirtioPciTransport:
         # after it.  Entry indices are device-local; the message data is
         # a host-allocated, system-unique vector.
         num_queues = (yield from self.common_read("num_queues"))
-        config_vector = self.kernel.irqc.allocate_vector()
-        yield from self.setup_msix_entry(0, config_vector)
+        if self.config_vector < 0:
+            self.config_vector = self.kernel.irqc.allocate_vector()
+        yield from self.setup_msix_entry(0, self.config_vector)
         yield from self.common_write("msix_config", 0)
 
         # Queue setup.
@@ -245,6 +247,15 @@ class VirtioPciTransport:
 
         yield from self.enable_msix()
         yield from self.common_write("device_status", status | STATUS_DRIVER_OK)
+
+    def reset_runtime_state(self) -> None:
+        """Forget the per-boot queue state ahead of a device reset +
+        re-initialization (the config vector survives: entry 0 is simply
+        reprogrammed with the same host vector)."""
+        self.virtqueues.clear()
+        self.notify_addrs.clear()
+        self.queue_vectors_assigned.clear()
+        self.msix_vectors_used = 0
 
     # -- runtime ------------------------------------------------------------------------------------
 

@@ -32,7 +32,8 @@ from repro.host.chardev import CharDevice
 from repro.host.kernel import HostKernel
 from repro.mem.dma import DmaBuffer
 from repro.pcie.msi import MSI_ADDRESS_BASE, MSIX_ENTRY_SIZE
-from repro.sim.event import Event
+from repro.sim.event import AnyOf, Event
+from repro.sim.time import ns
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.pcie.enumeration import DiscoveredFunction
@@ -51,6 +52,10 @@ MAX_TRANSFER = 1 << 20
 
 class XdmaProbeError(RuntimeError):
     """Unexpected identifier registers or missing BARs."""
+
+
+class XdmaTransferError(RuntimeError):
+    """A transfer could not be completed within the retry budget."""
 
 
 class XdmaCharDriver(CharDevice):
@@ -88,6 +93,19 @@ class XdmaCharDriver(CharDevice):
         self.h2c_transfers = 0
         self.c2h_transfers = 0
         self.interrupts = 0
+        # Fault tolerance.  ``injector`` is attached by repro.faults
+        # (None in normal runs); when set, transfers wait with a request
+        # timeout and retry with bounded exponential backoff -- the
+        # chardev analogue of xdma_xfer_submit()'s timeout handling.
+        self.injector = None
+        self.request_timeout_ns = 2_000_000.0
+        self.max_retries = 5
+        self.backoff_ns = 200_000.0
+        self.fault_timeouts = 0
+        self.fault_retries = 0
+        self.lost_irq_recoveries = 0
+        self.requests_failed = 0
+        self.recovery_latencies_ps: list = []
 
     # -- probe --------------------------------------------------------------------------
 
@@ -221,6 +239,11 @@ class XdmaCharDriver(CharDevice):
         # Build the descriptor (bounce-buffer setup + descriptor fill).
         yield kernel.cpu("driver_descriptor_build")
         descriptor_buf.write(descriptor.encode())
+        if self.injector is not None:
+            yield from self._launch_with_recovery(
+                channel_base, sgdma_base, descriptor_buf, done_attr
+            )
+            return
         done = Event(name=f"{self.name}.{done_attr}")
         setattr(self, done_attr, done)
         # Program the SGDMA pointer and start the engine: three posted
@@ -241,6 +264,75 @@ class XdmaCharDriver(CharDevice):
         # Clear the run bit so the next transfer sees an idle engine.
         yield kernel.mmio_write(
             self.reg_base + channel_base + regs.CHAN_CONTROL, (0).to_bytes(4, "little")
+        )
+
+    def _launch_with_recovery(
+        self,
+        channel_base: int,
+        sgdma_base: int,
+        descriptor_buf: DmaBuffer,
+        done_attr: str,
+    ) -> Generator[Any, Any, None]:
+        """Fault-tolerant launch: bounded request timeout per attempt,
+        lost-IRQ detection by polling the status register, engine reset
+        plus exponential backoff between retries.
+
+        The fault-free path performs exactly the same CPU-cost draws as
+        the plain launch (``AnyOf`` + task wakeup mirrors ``block_on``),
+        so a zero-rate fault plan leaves latency results bit-identical.
+        """
+        kernel = self.kernel
+        sg_base = self.reg_base + sgdma_base
+        control_addr = self.reg_base + channel_base + regs.CHAN_CONTROL
+        status_addr = self.reg_base + channel_base + regs.CHAN_STATUS
+        control = regs.CTRL_RUN | regs.CTRL_IE_DESC_STOPPED | regs.CTRL_IE_DESC_COMPLETED
+        first_timeout_at = None
+        for attempt in range(self.max_retries + 1):
+            done = Event(name=f"{self.name}.{done_attr}")
+            setattr(self, done_attr, done)
+            yield kernel.mmio_write(
+                sg_base + regs.SGDMA_DESC_LO,
+                (descriptor_buf.addr & 0xFFFF_FFFF).to_bytes(4, "little"),
+            )
+            yield kernel.mmio_write(
+                sg_base + regs.SGDMA_DESC_HI, (descriptor_buf.addr >> 32).to_bytes(4, "little")
+            )
+            yield kernel.mmio_write(control_addr, control.to_bytes(4, "little"))
+            timeout = kernel.sim.timeout(
+                ns(self.request_timeout_ns) << attempt, name=f"{self.name}.req-timeout"
+            )
+            index, _ = yield AnyOf([done, timeout])
+            yield kernel.cpu("task_wakeup")
+            if index == 0:
+                if first_timeout_at is not None:
+                    self.recovery_latencies_ps.append(kernel.sim.now - first_timeout_at)
+                yield kernel.mmio_write(control_addr, (0).to_bytes(4, "little"))
+                return
+            # Request timed out: diagnose via the channel status register.
+            self.fault_timeouts += 1
+            if first_timeout_at is None:
+                first_timeout_at = kernel.sim.now
+            raw = yield from kernel.mmio_read(status_addr, 4)
+            status = int.from_bytes(raw, "little")
+            if status & regs.STAT_DESC_COMPLETED:
+                # The transfer finished but its interrupt never arrived:
+                # recover without retransferring anything.
+                self.lost_irq_recoveries += 1
+                self.recovery_latencies_ps.append(kernel.sim.now - first_timeout_at)
+                yield kernel.mmio_write(control_addr, (0).to_bytes(4, "little"))
+                return
+            # Engine halted on a descriptor error or is stalled: stop
+            # it, back off, and reprogram from scratch.
+            yield kernel.mmio_write(control_addr, (0).to_bytes(4, "little"))
+            if attempt == self.max_retries:
+                break
+            self.fault_retries += 1
+            yield kernel.sim.timeout(
+                ns(self.backoff_ns) << attempt, name=f"{self.name}.backoff"
+            )
+        self.requests_failed += 1
+        raise XdmaTransferError(
+            f"{self.name}: transfer did not complete after {self.max_retries + 1} attempts"
         )
 
     # -- file operations ---------------------------------------------------------------------------------

@@ -67,7 +67,9 @@ class Cell:
     * ``"openload"`` -- one offered-rate point of an open-loop sweep
       (uses ``rate_pps``, ``arrival``, ``payload_sizes``);
     * ``"closedload"`` -- one outstanding-count point of a closed-loop
-      sweep (uses ``outstanding``, ``payload_sizes``).
+      sweep (uses ``outstanding``, ``payload_sizes``);
+    * ``"faultlat"`` -- one ping-pong measurement under fault injection
+      (uses ``payload`` plus ``fault_rate`` / ``fault_plan``).
     """
 
     kind: str
@@ -80,6 +82,8 @@ class Cell:
     rate_pps: Optional[float] = None
     arrival: str = "poisson"
     outstanding: Optional[int] = None
+    fault_rate: Optional[float] = None
+    fault_plan: Optional[object] = None  # repro.faults.FaultPlan (picklable)
 
     @property
     def label(self) -> str:
@@ -90,6 +94,8 @@ class Cell:
             return f"{self.driver}/calibrate"
         if self.kind == "openload":
             return f"{self.driver}/{self.rate_pps:.0f}pps"
+        if self.kind == "faultlat":
+            return f"{self.driver}/r{self.fault_rate:g}"
         return f"{self.driver}/N={self.outstanding}"
 
 
@@ -112,6 +118,38 @@ def latency_cells(
         )
         for driver in drivers
         for payload in payload_sizes
+    ]
+
+
+def fault_cells(
+    drivers: Sequence[str],
+    rates: Sequence[float],
+    payload: int,
+    packets: int,
+    seed: int = 0,
+    profile: CalibrationProfile = PAPER_PROFILE,
+) -> list[Cell]:
+    """Driver x fault-rate decomposition of the fault sweep.
+
+    The seed identity is deliberately the *latency* identity (kind
+    "latency", driver, payload) rather than a fault-specific one: every
+    rate of a (driver, payload) column then boots an identical testbed
+    and differs only in what the injector does, so the rate-0 column is
+    bit-identical to the fault-free latency cell -- the determinism
+    guard the fault experiments rest on.
+    """
+    return [
+        Cell(
+            kind="faultlat",
+            driver=driver,
+            payload=payload,
+            packets=packets,
+            profile=profile,
+            fault_rate=rate,
+            seed=derive_cell_seed(seed, "latency", driver, payload),
+        )
+        for driver in drivers
+        for rate in rates
     ]
 
 

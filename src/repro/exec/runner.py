@@ -31,6 +31,7 @@ from repro.exec.cells import (
     Cell,
     calibration_cells,
     closed_sweep_cells,
+    fault_cells,
     latency_cells,
     open_sweep_cells,
 )
@@ -122,6 +123,19 @@ def execute_cell(cell: Cell) -> CellOutcome:
             packets=cell.packets,
         )
         value = testbed.run_workload(generator)
+    elif cell.kind == "faultlat":
+        from repro.faults.injector import attach_fault_plan
+        from repro.faults.plan import driver_fault_plan
+        from repro.faults.report import ReliabilityReport
+
+        plan = cell.fault_plan
+        if plan is None:
+            plan = driver_fault_plan(cell.driver, cell.fault_rate or 0.0)
+        attach_fault_plan(testbed, plan)
+        runner = run_virtio_payload if cell.driver == "virtio" else run_xdma_payload
+        result = runner(testbed, cell.payload, cell.packets)
+        report = ReliabilityReport.collect(testbed, fault_rate=cell.fault_rate)
+        value = (result, report.as_dict())
     else:
         raise ExecutionError(f"unknown cell kind {cell.kind!r}")
     return CellOutcome(
@@ -209,6 +223,39 @@ def execute_comparison(
         sweeps[outcome.cell.driver].add(outcome.value)
     comparison = ComparisonResult(virtio=sweeps["virtio"], xdma=sweeps["xdma"])
     return comparison, _stats(outcomes, jobs, time.perf_counter() - started)
+
+
+#: driver -> [(fault_rate, PayloadResult, reliability dict)] in rate order.
+FaultSweepResults = Dict[str, List[Tuple[float, Any, Dict[str, Any]]]]
+
+
+def execute_fault_sweep(
+    rates: Sequence[float],
+    payload: int = 64,
+    packets: int = 300,
+    seed: int = 0,
+    profile: CalibrationProfile = PAPER_PROFILE,
+    drivers: Sequence[str] = ("virtio", "xdma"),
+    jobs: int = 1,
+) -> Tuple[FaultSweepResults, ExecutionStats]:
+    """Driver x fault-rate fan-out via the cell engine.
+
+    Each cell measures one ping-pong run under that driver's
+    characteristic fault (lost notifications for VirtIO, descriptor
+    errors for XDMA) at the given Bernoulli rate, and collects a
+    :class:`~repro.faults.ReliabilityReport`.  Results merge in cell
+    construction order, bit-identical across ``jobs``.
+    """
+    started = time.perf_counter()
+    cells = fault_cells(drivers, rates, payload, packets, seed, profile)
+    outcomes = run_cells(cells, jobs)
+    results: FaultSweepResults = {driver: [] for driver in drivers}
+    for outcome in outcomes:
+        payload_result, report = outcome.value
+        results[outcome.cell.driver].append(
+            (outcome.cell.fault_rate, payload_result, report)
+        )
+    return results, _stats(outcomes, jobs, time.perf_counter() - started)
 
 
 LoadResults = Dict[str, Union[LoadSweepResult, ClosedSweepResult]]

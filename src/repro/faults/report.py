@@ -1,0 +1,107 @@
+"""Per-run reliability accounting.
+
+A :class:`ReliabilityReport` collects, after a fault-mode run, what the
+injector recorded (opportunities, injections) and what the driver's
+recovery machinery observed (detections, retries, recovery latencies,
+failed requests).  Drivers expose these as plain counter attributes --
+``fault_timeouts``, ``fault_retries``, ``watchdog_stalls``,
+``device_resets``, ``recovery_latencies_ps``, ``requests_failed`` --
+so the driver layer never has to import this package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.sim.time import US
+
+
+def _percentiles_us(samples_ps: List[int]) -> Dict[str, float]:
+    """Recovery-latency distribution in microseconds (zeros if none)."""
+    if not samples_ps:
+        return {"count": 0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "mean": 0.0, "max": 0.0}
+    arr = np.asarray(samples_ps, dtype=np.float64) / US
+    return {
+        "count": int(arr.size),
+        "p50": float(np.percentile(arr, 50)),
+        "p95": float(np.percentile(arr, 95)),
+        "p99": float(np.percentile(arr, 99)),
+        "mean": float(arr.mean()),
+        "max": float(arr.max()),
+    }
+
+
+@dataclass
+class ReliabilityReport:
+    """What went wrong and how the driver coped, for one run."""
+
+    driver: str
+    fault_rate: Optional[float] = None
+    #: "site/kind" -> injected count, from the injector.
+    injected: Dict[str, int] = field(default_factory=dict)
+    #: "site/kind" -> opportunity count, from the injector.
+    opportunities: Dict[str, int] = field(default_factory=dict)
+    #: Fault-handling episodes the driver noticed (timeouts, watchdog
+    #: stalls, NEEDS_RESET config interrupts).
+    detected: int = 0
+    #: Retransmissions/re-kicks issued while recovering.
+    retries: int = 0
+    #: Full device reset + renegotiation cycles (VirtIO only).
+    device_resets: int = 0
+    #: Requests abandoned after bounded retries were exhausted.
+    requests_failed: int = 0
+    #: Detection-to-completion latency of each successful recovery (ps).
+    recovery_latencies_ps: List[int] = field(default_factory=list)
+
+    @property
+    def recoveries(self) -> int:
+        return len(self.recovery_latencies_ps)
+
+    def recovery_percentiles_us(self) -> Dict[str, float]:
+        return _percentiles_us(self.recovery_latencies_ps)
+
+    @classmethod
+    def collect(cls, testbed, fault_rate: Optional[float] = None) -> "ReliabilityReport":
+        """Assemble the report from a testbed after its run."""
+        driver = testbed.driver
+        name = "virtio" if hasattr(driver, "transport") else "xdma"
+        injector = getattr(testbed, "injector", None)
+        report = cls(driver=name, fault_rate=fault_rate)
+        if injector is not None:
+            report.injected = injector.injected_by_hook()
+            report.opportunities = injector.opportunities_by_hook()
+        report.detected = (
+            getattr(driver, "fault_timeouts", 0)
+            + getattr(driver, "watchdog_stalls", 0)
+            + getattr(driver, "needs_reset_seen", 0)
+        )
+        report.retries = (
+            getattr(driver, "fault_retries", 0)
+            + getattr(driver, "watchdog_rekicks", 0)
+        )
+        report.device_resets = getattr(driver, "device_resets", 0)
+        report.requests_failed = getattr(driver, "requests_failed", 0)
+        report.recovery_latencies_ps = list(
+            getattr(driver, "recovery_latencies_ps", ())
+        )
+        return report
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (recovery latencies summarized, not dumped)."""
+        out: Dict[str, Any] = {
+            "driver": self.driver,
+            "injected": dict(self.injected),
+            "opportunities": dict(self.opportunities),
+            "detected": self.detected,
+            "retries": self.retries,
+            "recoveries": self.recoveries,
+            "device_resets": self.device_resets,
+            "requests_failed": self.requests_failed,
+            "recovery_us": self.recovery_percentiles_us(),
+        }
+        if self.fault_rate is not None:
+            out["fault_rate"] = self.fault_rate
+        return out

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, List, Optional
 
+from repro.faults.plan import KIND_LOST_IRQ, KIND_SPURIOUS_USR_IRQ, SITE_XDMA_ENGINE
 from repro.mem.region import AddressSpace, MemoryRegion
 from repro.pcie.config_space import ConfigSpace
 from repro.pcie.device import PcieEndpoint
@@ -125,6 +126,11 @@ class XdmaCore(Component):
         )
         self.endpoint = PcieEndpoint(sim, link, config, name="ep", parent=self)
         self.perf = PerfCounterBank(sim, name="perf", parent=self, clock=clock)
+        #: Fault injector, attached by repro.faults after boot (None in
+        #: normal runs -- every fault hook is gated on this).
+        self.injector = None
+        self.irqs_lost = 0
+        self.spurious_user_irqs = 0
 
         # AXI-MM master address space toward fabric memories/logic.
         self.axi_space = AddressSpace(name=f"{name}.axi")
@@ -299,6 +305,16 @@ class XdmaCore(Component):
         if not (self.channel_int_enable >> index) & 1:
             self.trace("channel-irq-masked", channel=index)
             return
+        if (
+            self.injector is not None
+            and self.injector.fire(SITE_XDMA_ENGINE, KIND_LOST_IRQ) is not None
+        ):
+            # The interrupt request pulse is swallowed before it reaches
+            # the MSI-X machinery; the engine status still shows the
+            # transfer completed, so the driver can recover by polling.
+            self.irqs_lost += 1
+            self.trace("channel-irq-lost", channel=index)
+            return
         vector = self.channel_vectors[index]
         self.trace("channel-irq", channel=index, vector=vector)
         self.endpoint.raise_msix(vector)
@@ -313,6 +329,15 @@ class XdmaCore(Component):
         vector = self.user_vectors[index]
         self.trace("user-irq", line=index, vector=vector)
         self.endpoint.raise_msix(vector)
+        if (
+            self.injector is not None
+            and self.injector.fire(SITE_XDMA_ENGINE, KIND_SPURIOUS_USR_IRQ) is not None
+        ):
+            # Glitchy usr_irq_req line: the host sees the vector twice
+            # and its handler must tolerate the spurious second firing.
+            self.spurious_user_irqs += 1
+            self.trace("user-irq-spurious", line=index, vector=vector)
+            self.endpoint.raise_msix(vector)
 
     # -- statistics --------------------------------------------------------------------
 

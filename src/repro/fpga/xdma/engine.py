@@ -26,7 +26,8 @@ import enum
 from collections import deque
 from typing import TYPE_CHECKING, Deque, Optional, Tuple
 
-from repro.fpga.xdma.descriptor import XdmaDescriptor
+from repro.faults.plan import KIND_DESC_ERROR, KIND_ENGINE_STALL, SITE_XDMA_ENGINE
+from repro.fpga.xdma.descriptor import DescriptorError, XdmaDescriptor
 from repro.fpga.xdma.regs import (
     CTRL_IE_DESC_COMPLETED,
     CTRL_IE_DESC_STOPPED,
@@ -34,6 +35,7 @@ from repro.fpga.xdma.regs import (
     CTRL_RUN,
     STAT_BUSY,
     STAT_DESC_COMPLETED,
+    STAT_DESC_ERROR,
     STAT_DESC_STOPPED,
 )
 from repro.sim.component import Component
@@ -132,10 +134,32 @@ class DmaEngine(Component):
         self.status = STAT_BUSY
         perf = self.core.perf
         perf.start(self._perf_name())
+        injector = self.core.injector
         addr = self.descriptor_address
         while True:
             raw = yield self.core.endpoint.dma_read(addr, 32)
-            desc = XdmaDescriptor.decode(raw)
+            if injector is not None:
+                if injector.fire(SITE_XDMA_ENGINE, KIND_DESC_ERROR) is not None:
+                    # The fetch returned garbage: zero the control dword
+                    # so the magic check fails, as a real bit error would.
+                    raw = b"\x00\x00\x00\x00" + raw[4:]
+                try:
+                    desc = XdmaDescriptor.decode(raw)
+                except DescriptorError as err:
+                    yield self.core.clock.cycles_to_time(COMPLETION_CYCLES)
+                    self.status = STAT_DESC_STOPPED | STAT_DESC_ERROR
+                    perf.stop(self._perf_name())
+                    self.trace("sgdma-desc-error", error=str(err))
+                    # PG195 halts the engine with the error status bit
+                    # set and raises no completion; the host driver must
+                    # notice via its request timeout.
+                    return
+                spec = injector.fire(SITE_XDMA_ENGINE, KIND_ENGINE_STALL)
+                if spec is not None:
+                    self.trace("engine-stall")
+                    yield injector.delay_ps(spec, default_ns=1_000_000.0)
+            else:
+                desc = XdmaDescriptor.decode(raw)
             yield from self._execute(desc)
             self.completed_count += 1
             if desc.stop or not (self.control & CTRL_RUN):

@@ -48,6 +48,7 @@ CTRL_POLLMODE_WB_ENABLE = 1 << 26
 STAT_BUSY = 1 << 0
 STAT_DESC_STOPPED = 1 << 1
 STAT_DESC_COMPLETED = 1 << 2
+STAT_DESC_ERROR = 1 << 19  # descriptor magic/format error (PG195 bit 19)
 
 # -- SGDMA register offsets (within a channel's SGDMA block) ----------------------
 SGDMA_DESC_LO = 0x80

@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING, Callable, Deque, Optional
 
 from collections import deque
 
+from repro.faults.plan import KIND_TLP_CORRUPT, KIND_TLP_DELAY, KIND_TLP_DROP
 from repro.pcie.tlp import Tlp
 from repro.sim.component import Component
 from repro.sim.event import Event
@@ -132,6 +133,13 @@ class LinkDirection(Component):
         self._busy = False
         self._tlps_sent = 0
         self._bytes_sent = 0
+        #: Fault injector (attached by repro.faults; None in normal runs).
+        self.injector = None
+        #: Injection-site name: "pcie.down" / "pcie.up".
+        self.fault_site = f"pcie.{name}"
+        self.tlps_dropped = 0
+        self.tlps_corrupted = 0
+        self.tlps_delayed = 0
 
     def send(self, tlp: Tlp) -> Event:
         """Enqueue a TLP for transmission.  Returns the delivery event
@@ -161,6 +169,40 @@ class LinkDirection(Component):
             self._busy = False
 
     def _arrive(self, tlp: Tlp, delivered: Event) -> None:
+        if self.injector is not None and self._inject_on_arrival(tlp, delivered):
+            return
+        self.trace("tlp-rx", tlp=tlp.kind.value, addr=tlp.addr)
+        self.deliver(tlp)
+        delivered.trigger(None)
+
+    def _inject_on_arrival(self, tlp: Tlp, delivered: Event) -> bool:
+        """Apply link-level faults to an arriving TLP.  Returns True when
+        the normal delivery path must be skipped."""
+        injector = self.injector
+        if tlp.is_posted and injector.fire(self.fault_site, KIND_TLP_DROP) is not None:
+            # The write is silently lost in the fabric.  The sender only
+            # ever observed the posted handshake, so its local delivery
+            # event still fires -- nothing upstream may block on a drop.
+            self.tlps_dropped += 1
+            self.trace("tlp-dropped", tlp=tlp.kind.value, addr=tlp.addr)
+            delivered.trigger(None)
+            return True
+        if tlp.is_posted and tlp.data:
+            if injector.fire(self.fault_site, KIND_TLP_CORRUPT) is not None:
+                self.tlps_corrupted += 1
+                self.trace("tlp-corrupted", addr=tlp.addr, bytes=len(tlp.data))
+                tlp.data = tlp.data[:-1] + bytes([tlp.data[-1] ^ 0xFF])
+        spec = injector.fire(self.fault_site, KIND_TLP_DELAY)
+        if spec is not None:
+            self.tlps_delayed += 1
+            self.trace("tlp-delayed", tlp=tlp.kind.value, addr=tlp.addr)
+            self.sim.schedule(
+                injector.delay_ps(spec, default_ns=500.0), self._deliver_late, tlp, delivered
+            )
+            return True
+        return False
+
+    def _deliver_late(self, tlp: Tlp, delivered: Event) -> None:
         self.trace("tlp-rx", tlp=tlp.kind.value, addr=tlp.addr)
         self.deliver(tlp)
         delivered.trigger(None)

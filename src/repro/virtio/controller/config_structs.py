@@ -92,6 +92,12 @@ class VirtioConfigBlock:
     def queue(self, index: int) -> QueueState:
         return self.queues[index]
 
+    @property
+    def msix_config_entry(self) -> int:
+        """MSI-X table entry the driver assigned to config-change
+        interrupts (VIRTIO_MSI_NO_VECTOR when unassigned)."""
+        return self._msix_config
+
     # -- common configuration -----------------------------------------------------------
 
     def _build_common(self) -> None:

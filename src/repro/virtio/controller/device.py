@@ -26,10 +26,14 @@ from repro.fpga.xdma.core import XdmaCore
 from repro.mem.fpga_mem import Bram
 from repro.pcie.config_space import ConfigSpace
 from repro.pcie.link import PcieLink
+from repro.faults.plan import KIND_LOST_NOTIFY, SITE_VIRTIO_CTRL
 from repro.virtio.constants import (
+    STATUS_DEVICE_NEEDS_RESET,
     STATUS_DRIVER_OK,
     STATUS_FEATURES_OK,
+    VIRTIO_ISR_CONFIG,
     VIRTIO_ISR_QUEUE,
+    VIRTIO_MSI_NO_VECTOR,
     VIRTIO_PCI_VENDOR_ID,
     pci_device_id,
 )
@@ -118,6 +122,10 @@ class VirtioFpgaDevice(Component):
         self.driver_feature_words: Dict[int, int] = {}
         self.engines: Dict[int, DeviceQueueEngine] = {}
         self.perf = self.xdma.perf
+        #: Fault injector, attached by repro.faults after boot (None in
+        #: normal runs -- every fault hook is gated on this).
+        self.injector = None
+        self.needs_reset_events = 0
 
         personality.bind(self)
 
@@ -174,6 +182,14 @@ class VirtioFpgaDevice(Component):
         if engine is None:
             self.trace("notify-ignored", queue=queue_index)
             return
+        if (
+            self.injector is not None
+            and self.injector.fire(SITE_VIRTIO_CTRL, KIND_LOST_NOTIFY) is not None
+        ):
+            # The doorbell write never reaches the queue engine (e.g. a
+            # decode glitch in the notify region).
+            self.trace("notify-lost", queue=queue_index)
+            return
         self.personality.on_notify(queue_index)
         engine.kick()
 
@@ -206,6 +222,20 @@ class VirtioFpgaDevice(Component):
         self.config_block.set_isr(VIRTIO_ISR_QUEUE)
         self.trace("queue-irq", queue=queue_index, vector=queue.msix_vector)
         self.xdma.endpoint.raise_msix(queue.msix_vector)
+
+    def mark_needs_reset(self, reason: str = "") -> None:
+        """Latch DEVICE_NEEDS_RESET (spec 2.1.2: "something went wrong
+        in the device and it is unable to continue") and raise a
+        configuration-change interrupt so the driver learns about it."""
+        if self.device_status & STATUS_DEVICE_NEEDS_RESET:
+            return  # already latched; the driver reset will clear it
+        self.device_status |= STATUS_DEVICE_NEEDS_RESET
+        self.needs_reset_events += 1
+        self.trace("needs-reset", reason=reason)
+        self.config_block.set_isr(VIRTIO_ISR_CONFIG)
+        entry = self.config_block.msix_config_entry
+        if entry != VIRTIO_MSI_NO_VECTOR:
+            self.xdma.endpoint.raise_msix(entry)
 
     # -- statistics -------------------------------------------------------------------------------
 

@@ -34,12 +34,14 @@ import enum
 from collections import deque
 from typing import TYPE_CHECKING, Any, Deque, Generator, List, Optional, Tuple
 
+from repro.faults.plan import KIND_MALFORMED_CHAIN, KIND_USED_DELAY, SITE_VIRTIO_CTRL
 from repro.mem.layout import read_u16
 from repro.virtio.constants import VIRTIO_MSI_NO_VECTOR
 from repro.virtio.controller.config_structs import QueueState
 from repro.virtio.virtqueue import (
     VIRTQ_AVAIL_F_NO_INTERRUPT,
     VIRTQ_DESC_F_INDIRECT,
+    VIRTQ_DESC_F_NEXT,
     VirtqDescriptor,
     VirtqueueAddresses,
     VirtqueueError,
@@ -157,9 +159,21 @@ class DeviceQueueEngine(Component):
         """
         chain = FetchedChain(head)
         index = head
+        seen: set = set()
         for _ in range(self.MAX_CHAIN):
+            if index >= self.addresses.size:
+                raise VirtqueueError(
+                    f"queue {self.queue.index}: descriptor index {index} out of "
+                    f"range (size {self.addresses.size})"
+                )
+            if index in seen:
+                raise VirtqueueError(
+                    f"queue {self.queue.index}: descriptor chain loops at index {index}"
+                )
+            seen.add(index)
             yield self._fsm()
             raw = yield self.device.dma_port.host_read(self.addresses.desc_addr(index), 16)
+            raw = self._maybe_corrupt_descriptor(index, raw)
             desc = VirtqDescriptor.decode(raw)
             if desc.flags & VIRTQ_DESC_F_INDIRECT:
                 if desc.has_next or chain.out_segments or chain.in_segments:
@@ -175,6 +189,26 @@ class DeviceQueueEngine(Component):
                 return chain
             index = desc.next_index
         raise VirtqueueError(f"queue {self.queue.index}: chain longer than {self.MAX_CHAIN}")
+
+    def _maybe_corrupt_descriptor(self, index: int, raw: bytes) -> bytes:
+        """Fault hook: rewrite a fetched OUT-role descriptor into a
+        self-referential chain (as a flipped ring bit would), which the
+        chain-walk guard then detects."""
+        injector = self.device.injector
+        if (
+            injector is None
+            or self.role is not QueueRole.OUT
+            or injector.fire(SITE_VIRTIO_CTRL, KIND_MALFORMED_CHAIN) is None
+        ):
+            return raw
+        self.trace("descriptor-corrupted", index=index)
+        bad = VirtqDescriptor.decode(raw)
+        return VirtqDescriptor(
+            addr=bad.addr,
+            length=bad.length,
+            flags=bad.flags | VIRTQ_DESC_F_NEXT,
+            next_index=index,
+        ).encode()
 
     def _append_segment(self, chain: FetchedChain, desc: VirtqDescriptor) -> None:
         if desc.device_writable:
@@ -218,23 +252,37 @@ class DeviceQueueEngine(Component):
     # -- service loop --------------------------------------------------------------------------
 
     def _service(self) -> Generator[Any, Any, None]:
-        while self._kicked:
-            self._kicked = False
-            while True:
-                yield self._fsm()
-                avail_idx = yield from self._read_avail()
-                pending = (avail_idx - self.last_avail_idx) & 0xFFFF
-                if pending == 0:
-                    break
-                for _ in range(pending):
+        try:
+            while self._kicked:
+                self._kicked = False
+                while True:
                     yield self._fsm()
-                    raw = yield self.device.dma_port.host_read(
-                        self.addresses.avail_entry_addr(self.last_avail_idx), 2
-                    )
-                    head = read_u16(raw, 0)
-                    chain = yield from self._fetch_chain(head)
-                    self.last_avail_idx = (self.last_avail_idx + 1) & 0xFFFF
-                    yield from self._dispatch(chain)
+                    avail_idx = yield from self._read_avail()
+                    pending = (avail_idx - self.last_avail_idx) & 0xFFFF
+                    if pending == 0:
+                        break
+                    for _ in range(pending):
+                        yield self._fsm()
+                        raw = yield self.device.dma_port.host_read(
+                            self.addresses.avail_entry_addr(self.last_avail_idx), 2
+                        )
+                        head = read_u16(raw, 0)
+                        chain = yield from self._fetch_chain(head)
+                        self.last_avail_idx = (self.last_avail_idx + 1) & 0xFFFF
+                        yield from self._dispatch(chain)
+        except VirtqueueError as err:
+            # A real controller cannot raise Python exceptions at the
+            # driver: when fault injection is active it latches
+            # DEVICE_NEEDS_RESET and halts this engine, leaving
+            # recovery to the driver's config-change path.  Without an
+            # injector the error still fails loudly (a model bug, not
+            # an injected fault).
+            self._running = False
+            if self.device.injector is None:
+                raise
+            self.trace("ring-error", queue=self.queue.index, error=str(err))
+            self.device.mark_needs_reset(str(err))
+            return
         self._running = False
 
     def _dispatch(self, chain: FetchedChain) -> Generator[Any, Any, None]:
@@ -318,6 +366,13 @@ class DeviceQueueEngine(Component):
     def complete(self, chain: FetchedChain, written: int) -> Generator[Any, Any, None]:
         """Publish the used element and interrupt if allowed."""
         yield self._fsm()
+        injector = self.device.injector
+        if injector is not None:
+            spec = injector.fire(SITE_VIRTIO_CTRL, KIND_USED_DELAY)
+            if spec is not None:
+                delay = injector.delay_ps(spec, default_ns=10_000.0)
+                self.trace("used-write-delayed", head=chain.head, delay_ps=delay)
+                yield delay
         elem = bytearray(8)
         elem[0:4] = chain.head.to_bytes(4, "little")
         elem[4:8] = written.to_bytes(4, "little")

@@ -344,14 +344,35 @@ class DriverVirtqueue:
         chain = self._chain_lengths.pop(head, None)
         if chain is None:
             raise VirtqueueError(f"queue {self.name}: device used unknown head {head}")
-        # Free the chain's descriptor indices by walking the table.
+        # Free the chain's descriptor indices by walking the table.  The
+        # walk is bounded by the recorded chain length, but the table
+        # bytes are device-visible memory -- a corrupted (self-
+        # referential or out-of-range) chain must fail loudly, not loop
+        # or free the same slot twice.
         index = head
+        seen: set[int] = set()
         for _ in range(chain):
+            if not 0 <= index < self.size:
+                raise VirtqueueError(
+                    f"queue {self.name}: descriptor index {index} out of range "
+                    f"(size {self.size})"
+                )
+            if index in seen:
+                raise VirtqueueError(
+                    f"queue {self.name}: descriptor chain loops back to index {index}"
+                )
+            seen.add(index)
             self._free.append(index)
             desc = self.read_descriptor(index)
             if not desc.has_next:
                 break
             index = desc.next_index
+        else:
+            if desc.has_next:
+                raise VirtqueueError(
+                    f"queue {self.name}: chain at head {head} longer than its "
+                    f"recorded {chain} descriptors"
+                )
         self.in_flight -= 1
         return UsedElem(head=head, written=written)
 

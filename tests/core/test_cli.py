@@ -96,10 +96,30 @@ class TestJsonFlag:
         assert {"virtio", "xdma"} <= set(doc["rows"][0])
         assert "p99_us" in doc["rows"][0]["virtio"]
 
-    def test_json_rejected_for_other_artifacts(self):
-        for artifact in ("fig3", "fig4", "fig5", "claims", "all"):
+    def test_fig3_json(self, capsys):
+        argv = ["fig3", "--json", "--packets", "10", "--payloads", "64"]
+        assert main(argv) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["artifact"] == "fig3"
+        assert set(doc["drivers"]) == {"virtio", "xdma"}
+        assert "p99_us" in doc["drivers"]["virtio"]["64"]
+
+    @pytest.mark.parametrize("artifact", ["fig4", "fig5"])
+    def test_breakdown_json(self, artifact, capsys):
+        argv = [artifact, "--json", "--packets", "10", "--payloads", "64"]
+        assert main(argv) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["artifact"] == artifact
+        assert doc["driver"] == ("virtio" if artifact == "fig4" else "xdma")
+        row = doc["breakdown"][0]
+        assert row["payload"] == 64
+        assert {"hw_mean_us", "sw_mean_us", "total_mean_us"} <= set(row)
+
+    def test_json_rejected_for_other_artifacts(self, capsys):
+        for artifact in ("claims", "all"):
             with pytest.raises(SystemExit):
                 main([artifact, "--json", "--packets", "10", "--payloads", "64"])
+            assert artifact in capsys.readouterr().err
 
 
 class TestParallelCli:

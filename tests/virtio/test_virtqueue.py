@@ -155,3 +155,56 @@ class TestDriverVirtqueue:
         vq._avail_idx = 0xFFFF
         vq.add_buffer([(0x1000, 8)], [])
         assert vq.publish() == 0
+
+
+class TestCorruptedChainWalk:
+    """The used-side chain walk must reject device-corrupted chains
+    instead of looping or double-freeing (the descriptor table is
+    device-visible memory)."""
+
+    def _complete(self, vq, mem, head):
+        elem = head.to_bytes(4, "little") + (0).to_bytes(4, "little")
+        mem.write(vq.addresses.used_entry_addr(0), elem)
+        mem.write(vq.addresses.used_idx_addr, (1).to_bytes(2, "little"))
+
+    def test_self_referential_chain_rejected(self):
+        vq, mem = make_vq()
+        head = vq.add_buffer([(0x1000, 8), (0x2000, 8)], [])
+        vq.publish()
+        vq._write_descriptor(
+            head,
+            VirtqDescriptor(addr=0x1000, length=8, flags=VIRTQ_DESC_F_NEXT,
+                            next_index=head),
+        )
+        self._complete(vq, mem, head)
+        with pytest.raises(VirtqueueError, match="loops back"):
+            vq.get_used()
+
+    def test_overlong_chain_rejected(self):
+        vq, mem = make_vq()
+        head = vq.add_buffer([(0x1000, 8), (0x2000, 8)], [])
+        vq.publish()
+        second = vq.read_descriptor(head).next_index
+        # The last descriptor claims a continuation the driver never
+        # recorded.
+        vq._write_descriptor(
+            second,
+            VirtqDescriptor(addr=0x2000, length=8, flags=VIRTQ_DESC_F_NEXT,
+                            next_index=(second + 1) % vq.size),
+        )
+        self._complete(vq, mem, head)
+        with pytest.raises(VirtqueueError, match="longer than"):
+            vq.get_used()
+
+    def test_out_of_range_link_rejected(self):
+        vq, mem = make_vq()
+        head = vq.add_buffer([(0x1000, 8), (0x2000, 8)], [])
+        vq.publish()
+        vq._write_descriptor(
+            head,
+            VirtqDescriptor(addr=0x1000, length=8, flags=VIRTQ_DESC_F_NEXT,
+                            next_index=99),
+        )
+        self._complete(vq, mem, head)
+        with pytest.raises(VirtqueueError, match="out of range"):
+            vq.get_used()
