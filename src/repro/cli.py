@@ -24,6 +24,15 @@ VirtIO reset/renegotiation storm (E-F2)::
     virtio-fpga-repro faultsweep --fault-rates 0 0.01 0.05 -j 4
     virtio-fpga-repro faultsweep --scenario reset --every 25
 
+``overload`` drives the end-to-end overload-protection stack: E-O1
+graceful-degradation sweeps far beyond the saturation knee, or the
+E-S1 three-phase soak (baseline / sustained overload with faults /
+recovery), each point audited by a conservation ledger::
+
+    virtio-fpga-repro overload --json
+    virtio-fpga-repro overload --multipliers 0.5 1 4 16 -j 4
+    virtio-fpga-repro overload --soak --fault-rate 0.02
+
 ``--jobs/-j`` fans any artifact out over a process pool (bit-identical
 output for any worker count), and ``bench`` records the serial vs
 parallel perf trajectory::
@@ -56,7 +65,10 @@ from repro.core.results import breakdown_rows
 from repro.workload.arrivals import ARRIVAL_KINDS
 
 #: Artifacts with a machine-readable rendering behind ``--json``.
-JSON_ARTIFACTS = ("fig3", "fig4", "fig5", "table1", "loadsweep", "faultsweep", "bench")
+JSON_ARTIFACTS = (
+    "fig3", "fig4", "fig5", "table1", "loadsweep", "faultsweep", "overload",
+    "bench",
+)
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -72,12 +84,13 @@ def _parser() -> argparse.ArgumentParser:
         "artifact",
         choices=[
             "fig3", "fig4", "fig5", "table1", "claims", "loadsweep",
-            "faultsweep", "bench", "all",
+            "faultsweep", "overload", "bench", "all",
         ],
         help="which artifact to regenerate (loadsweep: workload-engine "
         "offered-load sweep, beyond the paper; faultsweep: fault-injection "
-        "reliability sweep, beyond the paper; bench: time a serial vs "
-        "parallel reproduction and write BENCH_<rev>.json)",
+        "reliability sweep, beyond the paper; overload: overload-protection "
+        "sweep/soak with conservation audit, beyond the paper; bench: time "
+        "a serial vs parallel reproduction and write BENCH_<rev>.json)",
     )
     parser.add_argument(
         "--packets",
@@ -166,6 +179,31 @@ def _parser() -> argparse.ArgumentParser:
         help="reset scenario: corrupt every N-th TX descriptor-chain "
         "fetch (default: 25)",
     )
+    over = parser.add_argument_group("overload options")
+    over.add_argument(
+        "--soak",
+        action="store_true",
+        help="run the E-S1 three-phase soak (baseline / 8x overload with "
+        "faults / recovery) instead of the E-O1 load sweep",
+    )
+    over.add_argument(
+        "--multipliers",
+        type=float,
+        nargs="+",
+        default=None,
+        metavar="M",
+        help="offered-load multiples of each driver's measured base rate "
+        "for the E-O1 sweep (default: 0.5 1 2 4 8 16; --rate overrides "
+        "with explicit pps points)",
+    )
+    over.add_argument(
+        "--fault-rate",
+        type=float,
+        default=None,
+        metavar="P",
+        help="per-opportunity fault probability layered on top of the "
+        "overload (sweep default: none; soak default: 0.02)",
+    )
     return parser
 
 
@@ -185,6 +223,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--fault-rates values must be probabilities in [0, 1]")
     if args.every <= 0:
         parser.error("--every must be positive")
+    if args.multipliers and any(m <= 0 for m in args.multipliers):
+        parser.error("--multipliers values must be positive")
+    if args.fault_rate is not None and not 0.0 <= args.fault_rate <= 1.0:
+        parser.error("--fault-rate must be a probability in [0, 1]")
     if args.jobs is not None and args.jobs < 1:
         parser.error("--jobs must be >= 1")
 
@@ -274,6 +316,55 @@ def main(argv: Optional[List[str]] = None) -> int:
             file=sys.stderr,
         )
         return 0
+
+    if args.artifact == "overload":
+        from repro.health.experiments import (
+            OVERLOAD_MULTIPLIERS,
+            run_overload_soak,
+            run_overload_sweep,
+        )
+
+        payloads = args.payloads if args.payloads is not None else [64]
+        jobs = args.jobs if args.jobs is not None else 1
+        if args.soak:
+            packets = args.packets if args.packets is not None else default_packets(300)
+            fault_rate = args.fault_rate if args.fault_rate is not None else 0.02
+            results, _ = run_overload_soak(
+                packets=packets, seed=args.seed, payload_sizes=payloads,
+                fault_rate=fault_rate, jobs=jobs,
+            )
+        else:
+            packets = args.packets if args.packets is not None else default_packets(400)
+            multipliers = (
+                tuple(args.multipliers) if args.multipliers else OVERLOAD_MULTIPLIERS
+            )
+            results, _ = run_overload_sweep(
+                packets=packets, seed=args.seed, multipliers=multipliers,
+                rates=args.rate, arrival=args.distribution,
+                payload_sizes=payloads, fault_rate=args.fault_rate, jobs=jobs,
+            )
+        mode = "soak" if args.soak else "sweep"
+        if args.json:
+            print(json.dumps(
+                {
+                    "artifact": "overload",
+                    "mode": mode,
+                    "seed": args.seed,
+                    "packets": packets,
+                    "drivers": {name: r.as_dict() for name, r in results.items()},
+                },
+                indent=2,
+            ))
+        else:
+            print("\n\n".join(r.render() for r in results.values()))
+        print(
+            f"\n[overload/{mode}: {packets} packets/"
+            f"{'phase' if args.soak else 'point'}, seed {args.seed}, "
+            f"{time.time() - started:.1f}s]",
+            file=sys.stderr,
+        )
+        all_pass = all(r.verdict == "PASS" for r in results.values())
+        return 0 if all_pass else 1
 
     packets = args.packets if args.packets is not None else default_packets()
     payloads = args.payloads if args.payloads is not None else list(PAPER_PAYLOAD_SIZES)

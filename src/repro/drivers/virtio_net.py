@@ -102,6 +102,7 @@ class VirtioNetDriver:
         self._tx_buffers: List[DmaBuffer] = []
         self._tx_slot = 0
         self._tx_outstanding = 0
+        self.tx_ring_drops = 0
         self.tx_kicks = 0
         self.rx_irqs = 0
         self.has_ctrl_vq = False
@@ -203,9 +204,22 @@ class VirtioNetDriver:
         slots on the next xmit's opportunistic clean, so a ``False``
         here can be one clean away from ``True``.  Open-loop workload
         generators treat ``False`` as a qdisc-style tail drop.
+
+        Honours any ``depth_limit`` installed on the transmitq (the
+        overload layer's avail-ring bound) via :meth:`has_room`.
+
+        Completions parked in the used ring count as room: the next
+        xmit's opportunistic clean reclaims them before adding, so a
+        full-looking ring with parked completions is one clean away
+        from accepting a frame.  Without this, a generator that gates
+        on ``tx_has_room`` wedges permanently once the ring fills --
+        nothing cleans, so nothing ever frees (the deadlock the E-S1
+        soak's recovery phase exposed).
         """
         vq = self.transport.queue(TRANSMITQ)
-        return vq.num_free > 0 and self._tx_outstanding < TX_POOL_SIZE
+        if vq.has_room(1) and self._tx_outstanding < TX_POOL_SIZE:
+            return True
+        return vq.has_used()
 
     def _start_xmit(self, skb: Skb) -> Generator[Any, Any, None]:
         kernel = self.kernel
@@ -218,6 +232,17 @@ class VirtioNetDriver:
             self._tx_outstanding -= 1
             self._pending_tx.pop(elem.head, None)
             yield kernel.cpu("virtio_get_buf")
+
+        if not (vq.has_room(1) and self._tx_outstanding < TX_POOL_SIZE):
+            # The ring (or the overload layer's depth bound) is still
+            # full after the clean.  Linux would netif_stop_queue
+            # earlier; our qdisc gate normally catches this, so this is
+            # the defensive backstop -- drop with a counted reason
+            # rather than corrupting ring state with an overflow add.
+            self.tx_ring_drops += 1
+            if self.netdev is not None:
+                self.netdev.count_tx_drop("tx_ring_full")
+            return
 
         header = VirtioNetHeader(num_buffers=0)
         if skb.ip_summed == CHECKSUM_PARTIAL:

@@ -58,6 +58,14 @@ class XdmaTransferError(RuntimeError):
     """A transfer could not be completed within the retry budget."""
 
 
+class XdmaBusyError(RuntimeError):
+    """Reject-to-caller: the driver's pending-request window is full.
+
+    The chardev analogue of ``-EBUSY`` from a bounded submission queue:
+    raised *before* any engine state is touched, so the caller can
+    count the rejection and retry or drop under its own policy."""
+
+
 class XdmaCharDriver(CharDevice):
     """Bound driver for one XDMA function."""
 
@@ -93,6 +101,13 @@ class XdmaCharDriver(CharDevice):
         self.h2c_transfers = 0
         self.c2h_transfers = 0
         self.interrupts = 0
+        # Bounded submission window (overload layer): with ``max_pending``
+        # set, requests beyond the window are rejected to the caller with
+        # :class:`XdmaBusyError` instead of queueing on the channel locks
+        # without bound.  None keeps the historical unbounded behaviour.
+        self.max_pending: Optional[int] = None
+        self.pending = 0
+        self.busy_rejects = 0
         # Fault tolerance.  ``injector`` is attached by repro.faults
         # (None in normal runs); when set, transfers wait with a request
         # timeout and retry with bounded exponential backoff -- the
@@ -337,11 +352,22 @@ class XdmaCharDriver(CharDevice):
 
     # -- file operations ---------------------------------------------------------------------------------
 
+    def _admit_request(self) -> None:
+        """Bounded-window gate for both channels (no-op when unset)."""
+        if self.max_pending is not None and self.pending >= self.max_pending:
+            self.busy_rejects += 1
+            raise XdmaBusyError(
+                f"{self.name}: {self.pending} requests pending "
+                f"(window {self.max_pending})"
+            )
+        self.pending += 1
+
     def dev_write(self, data: bytes) -> Generator[Any, Any, int]:
         """H2C: move *data* to FPGA memory at CARD_ADDRESS."""
         if not data or len(data) > MAX_TRANSFER:
             raise ValueError(f"write of {len(data)}B outside (0, {MAX_TRANSFER}]")
         assert self._h2c_data is not None and self._h2c_desc is not None
+        self._admit_request()
         yield self._h2c_lock.acquire()
         try:
             # The user's pinned pages, reachable by the device.
@@ -359,6 +385,7 @@ class XdmaCharDriver(CharDevice):
             )
             self.h2c_transfers += 1
         finally:
+            self.pending -= 1
             self._h2c_lock.release()
         return len(data)
 
@@ -367,6 +394,7 @@ class XdmaCharDriver(CharDevice):
         if length <= 0 or length > MAX_TRANSFER:
             raise ValueError(f"read of {length}B outside (0, {MAX_TRANSFER}]")
         assert self._c2h_data is not None and self._c2h_desc is not None
+        self._admit_request()
         yield self._c2h_lock.acquire()
         try:
             descriptor = XdmaDescriptor(
@@ -385,6 +413,7 @@ class XdmaCharDriver(CharDevice):
                 self._readable = Event(name=f"{self.name}.readable")
             data = self._c2h_data.read(0, length)
         finally:
+            self.pending -= 1
             self._c2h_lock.release()
         return data
 

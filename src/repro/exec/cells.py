@@ -69,7 +69,14 @@ class Cell:
     * ``"closedload"`` -- one outstanding-count point of a closed-loop
       sweep (uses ``outstanding``, ``payload_sizes``);
     * ``"faultlat"`` -- one ping-pong measurement under fault injection
-      (uses ``payload`` plus ``fault_rate`` / ``fault_plan``).
+      (uses ``payload`` plus ``fault_rate`` / ``fault_plan``);
+    * ``"overload"`` -- one offered-rate point of an overload-protected
+      open-loop sweep with conservation monitoring (uses ``rate_pps``,
+      ``arrival``, ``payload_sizes``, ``overload``, optionally
+      ``fault_rate`` / ``fault_plan``);
+    * ``"soak"`` -- one driver's three-phase overload soak on a single
+      testbed (uses ``rate_pps`` as the measured base rate plus
+      ``overload`` and ``fault_rate``).
     """
 
     kind: str
@@ -84,6 +91,7 @@ class Cell:
     outstanding: Optional[int] = None
     fault_rate: Optional[float] = None
     fault_plan: Optional[object] = None  # repro.faults.FaultPlan (picklable)
+    overload: Optional[object] = None  # repro.workload.OverloadConfig (picklable)
 
     @property
     def label(self) -> str:
@@ -92,10 +100,12 @@ class Cell:
             return f"{self.driver}/{self.payload}B"
         if self.kind == "calibrate":
             return f"{self.driver}/calibrate"
-        if self.kind == "openload":
+        if self.kind in ("openload", "overload"):
             return f"{self.driver}/{self.rate_pps:.0f}pps"
         if self.kind == "faultlat":
             return f"{self.driver}/r{self.fault_rate:g}"
+        if self.kind == "soak":
+            return f"{self.driver}/soak"
         return f"{self.driver}/N={self.outstanding}"
 
 
@@ -201,6 +211,70 @@ def open_sweep_cells(
             seed=derive_cell_seed(seed, "openload", driver, index),
         )
         for index, rate in enumerate(rates)
+    ]
+
+
+def overload_cells(
+    driver: str,
+    rates: Sequence[float],
+    payload_sizes: Sequence[int],
+    packets: int,
+    seed: int = 0,
+    arrival: str = "poisson",
+    profile: CalibrationProfile = PAPER_PROFILE,
+    overload: Optional[object] = None,
+    fault_rate: Optional[float] = None,
+) -> list[Cell]:
+    """Driver x offered-rate decomposition of an overload sweep (E-O1).
+
+    The seed identity is deliberately the *openload* identity (kind
+    "openload", driver, point index), not an overload-specific one: a
+    point run with an all-off :class:`OverloadConfig` then boots an
+    identical testbed and draws identical schedules, so its metrics are
+    bit-identical to the plain load-sweep cell -- the determinism guard
+    the overload experiments rest on (same discipline as
+    :func:`fault_cells`).
+    """
+    return [
+        Cell(
+            kind="overload",
+            driver=driver,
+            rate_pps=rate,
+            arrival=arrival,
+            payload_sizes=tuple(payload_sizes),
+            packets=packets,
+            profile=profile,
+            overload=overload,
+            fault_rate=fault_rate,
+            seed=derive_cell_seed(seed, "openload", driver, index),
+        )
+        for index, rate in enumerate(rates)
+    ]
+
+
+def soak_cells(
+    drivers: Sequence[str],
+    base_rates: dict,
+    packets: int,
+    seed: int = 0,
+    profile: CalibrationProfile = PAPER_PROFILE,
+    overload: Optional[object] = None,
+    fault_rate: Optional[float] = None,
+) -> list[Cell]:
+    """One three-phase soak cell per driver (E-S1); ``base_rates`` maps
+    driver -> measured base rate in pps."""
+    return [
+        Cell(
+            kind="soak",
+            driver=driver,
+            rate_pps=base_rates[driver],
+            packets=packets,
+            profile=profile,
+            overload=overload,
+            fault_rate=fault_rate,
+            seed=derive_cell_seed(seed, "soak", driver),
+        )
+        for driver in drivers
     ]
 
 

@@ -123,6 +123,43 @@ def execute_cell(cell: Cell) -> CellOutcome:
             packets=cell.packets,
         )
         value = testbed.run_workload(generator)
+    elif cell.kind == "overload":
+        from repro.health.bounded import apply_overload_bounds
+        from repro.health.monitor import ConservationMonitor
+        from repro.workload.arrivals import make_arrivals
+
+        if cell.fault_plan is not None or cell.fault_rate:
+            from repro.faults.injector import attach_fault_plan
+            from repro.faults.plan import driver_fault_plan
+
+            plan = cell.fault_plan
+            if plan is None:
+                plan = driver_fault_plan(cell.driver, cell.fault_rate or 0.0)
+            attach_fault_plan(testbed, plan)
+        if cell.overload is not None:
+            apply_overload_bounds(testbed, cell.overload)
+        monitor = ConservationMonitor(cell.driver, "open")
+        generator = OpenLoopGenerator(
+            arrivals=make_arrivals(cell.arrival, cell.rate_pps),
+            sizes=_make_sizes(cell.payload_sizes),
+            packets=cell.packets,
+            overload=cell.overload,
+            monitor=monitor,
+        )
+        metrics = generator.run(testbed)
+        value = (metrics, monitor.finalize())
+    elif cell.kind == "soak":
+        from repro.health.soak import run_soak_on
+
+        value = run_soak_on(
+            testbed,
+            driver=cell.driver,
+            base_rate_pps=cell.rate_pps or 0.0,
+            packets=cell.packets,
+            overload=cell.overload,
+            fault_rate=cell.fault_rate,
+            seed=cell.seed,
+        )
     elif cell.kind == "faultlat":
         from repro.faults.injector import attach_fault_plan
         from repro.faults.plan import driver_fault_plan

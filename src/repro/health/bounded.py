@@ -1,0 +1,165 @@
+"""Bounded queues with explicit full-queue policies.
+
+Every queueing hop in the stack -- socket receive backlog, the
+open-loop generators' software job queue, the virtqueue avail ring,
+the XDMA driver's pending-request window -- either used an implicit
+bound with silent drops or no bound at all.  This module gives them a
+single primitive with a *named* policy and *counted* drop reasons, so
+overload behaviour is a configuration decision, not an accident of
+which layer fills up first.
+
+Three policies, the classic trio:
+
+* ``drop``   -- tail-drop the newest item and count it under a reason
+  (the qdisc / SO_RCVBUF behaviour; the only legal policy in softirq
+  context, where nothing may block);
+* ``block``  -- the producer waits for room, optionally bounded by a
+  timeout (the blocking-syscall behaviour);
+* ``reject`` -- refuse immediately with :class:`QueueFullError` so the
+  caller can apply its own retry/backoff discipline (the ``EAGAIN``
+  behaviour).
+
+:func:`apply_overload_bounds` installs an
+:class:`~repro.workload.admission.OverloadConfig`'s per-hop bounds onto
+a booted testbed: socket receive limits, the virtio transmit ring's
+depth limit, and the XDMA driver's pending window.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, Optional
+
+#: Tail-drop the newest item, counting the drop under its reason.
+POLICY_DROP = "drop"
+#: Producer blocks until there is room (optionally with a timeout).
+POLICY_BLOCK = "block"
+#: Refuse immediately with :class:`QueueFullError`.
+POLICY_REJECT = "reject"
+
+POLICIES = (POLICY_DROP, POLICY_BLOCK, POLICY_REJECT)
+
+
+class QueueFullError(RuntimeError):
+    """A bounded queue refused an item under the ``reject`` policy."""
+
+    def __init__(self, name: str, reason: str) -> None:
+        super().__init__(f"queue {name!r} full ({reason})")
+        self.queue_name = name
+        self.reason = reason
+
+
+class BoundedQueue:
+    """A FIFO with a capacity, a policy, and per-reason drop counters.
+
+    The queue itself never blocks -- blocking needs simulator events,
+    which belong to the process that owns the queue.  ``try_push``
+    returns ``False`` (drop policy, counted) or raises
+    (:class:`QueueFullError`, reject policy) when full; callers running
+    the block policy test :meth:`has_room` and wait on their own event
+    before pushing.
+    """
+
+    def __init__(
+        self,
+        capacity: Optional[int],
+        name: str = "queue",
+        policy: str = POLICY_DROP,
+        drop_reason: str = "overflow",
+    ) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"capacity must be positive or None, got {capacity}")
+        if policy not in POLICIES:
+            raise ValueError(f"unknown policy {policy!r} (expected one of {POLICIES})")
+        self.capacity = capacity
+        self.name = name
+        self.policy = policy
+        self.drop_reason = drop_reason
+        self._items: Deque[Any] = deque()
+        #: reason -> count of items refused at this hop.
+        self.drops: Dict[str, int] = {}
+
+    # -- state -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def has_room(self) -> bool:
+        return self.capacity is None or len(self._items) < self.capacity
+
+    @property
+    def dropped_total(self) -> int:
+        return sum(self.drops.values())
+
+    # -- operations --------------------------------------------------------
+
+    def count_drop(self, reason: Optional[str] = None, n: int = 1) -> None:
+        """Count *n* refusals under *reason* (callers that drop outside
+        the queue -- e.g. before even building the item -- still get
+        their loss on this hop's ledger)."""
+        key = reason or self.drop_reason
+        self.drops[key] = self.drops.get(key, 0) + n
+
+    def try_push(self, item: Any, reason: Optional[str] = None) -> bool:
+        """Append *item* if there is room.  When full: count and return
+        ``False`` (drop policy) or raise (reject policy).  The block
+        policy also returns ``False`` -- the caller owns the waiting."""
+        if self.has_room():
+            self._items.append(item)
+            return True
+        if self.policy == POLICY_REJECT:
+            self.count_drop(reason)
+            raise QueueFullError(self.name, reason or self.drop_reason)
+        if self.policy == POLICY_DROP:
+            self.count_drop(reason)
+        return False
+
+    def popleft(self) -> Any:
+        return self._items.popleft()
+
+    def clear(self) -> None:
+        self._items.clear()
+
+    def __repr__(self) -> str:
+        cap = "inf" if self.capacity is None else str(self.capacity)
+        return (
+            f"<BoundedQueue {self.name} {len(self._items)}/{cap} "
+            f"policy={self.policy} dropped={self.dropped_total}>"
+        )
+
+
+def apply_overload_bounds(testbed, config) -> None:
+    """Install *config*'s per-hop bounds onto a booted testbed.
+
+    * VirtIO: the measurement socket(s) get the receive-backlog bound;
+      the transmit virtqueue gets an avail-ring depth limit (the driver
+      refuses to expose more than ``tx_depth_limit`` chains at once);
+      the netdev gets a ``can_xmit`` gate so a full ring is a counted
+      qdisc drop instead of a ring exception.
+    * XDMA: the driver gets a bounded pending-request window
+      (``reject``-to-caller, the ``EAGAIN`` analogue).
+
+    A ``None`` bound leaves that hop exactly as it was -- applying an
+    all-``None`` config is a no-op, which is what keeps zero-overload
+    runs bit-identical to plain ones.
+    """
+    from repro.core.testbed import VirtioTestbed, XdmaTestbed
+
+    if isinstance(testbed, VirtioTestbed):
+        if config.socket_rx_limit is not None:
+            testbed.socket.rx_queue_limit = config.socket_rx_limit
+        driver = testbed.driver
+        if config.tx_depth_limit is not None:
+            from repro.drivers.virtio_net import TRANSMITQ
+
+            driver.transport.queue(TRANSMITQ).depth_limit = config.tx_depth_limit
+        if driver.netdev is not None and driver.netdev.can_xmit is None:
+            driver.netdev.can_xmit = driver.tx_has_room
+    elif isinstance(testbed, XdmaTestbed):
+        if config.xdma_max_pending is not None:
+            testbed.driver.max_pending = config.xdma_max_pending
+    else:
+        raise TypeError(f"unknown testbed type {type(testbed).__name__}")

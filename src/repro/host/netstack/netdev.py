@@ -57,6 +57,12 @@ class NetDevice(Component):
         self._xmit: Optional[XmitFn] = None
         self.tx_packets = 0
         self.rx_packets = 0
+        #: Optional qdisc gate installed by the overload layer: when it
+        #: returns False the frame is tail-dropped here with a counted
+        #: reason instead of overrunning the driver's ring.
+        self.can_xmit: Optional[Callable[[], bool]] = None
+        #: reason -> frames dropped on the transmit path.
+        self.tx_dropped: dict = {}
 
     def set_xmit(self, xmit: XmitFn) -> None:
         """Install the driver's ndo_start_xmit."""
@@ -65,13 +71,24 @@ class NetDevice(Component):
     def has_feature(self, feature: str) -> bool:
         return feature in self.features
 
-    def start_xmit(self, skb: Skb) -> Generator[Any, Any, None]:
-        """Hand a frame to the driver (stack calls with ``yield from``)."""
+    def count_tx_drop(self, reason: str) -> None:
+        self.tx_dropped[reason] = self.tx_dropped.get(reason, 0) + 1
+
+    def start_xmit(self, skb: Skb) -> Generator[Any, Any, bool]:
+        """Hand a frame to the driver (stack calls with ``yield from``).
+
+        Returns ``True`` if the driver took the frame, ``False`` if the
+        qdisc gate tail-dropped it (counted under ``txq_full``)."""
         if self._xmit is None:
             raise RuntimeError(f"device {self.ifname!r} has no transmit hook")
+        if self.can_xmit is not None and not self.can_xmit():
+            self.count_tx_drop("txq_full")
+            self.trace("tx-drop-qdisc", bytes=len(skb.data))
+            return False
         self.tx_packets += 1
         skb.device = self.ifname
         yield from self._xmit(skb)
+        return True
 
 
 class NapiContext:

@@ -8,11 +8,11 @@ costs around the stack work.
 
 from __future__ import annotations
 
-from collections import deque
-from typing import TYPE_CHECKING, Any, Deque, Generator, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Generator, Optional, Tuple
 
+from repro.health.bounded import BoundedQueue
 from repro.host.netstack.stack import NetworkStack
-from repro.sim.event import Event
+from repro.sim.event import Event, Timeout
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.host.kernel import HostKernel
@@ -32,12 +32,13 @@ class UdpSocket:
         self.kernel = kernel
         self.stack = stack
         self.local_port: Optional[int] = None
-        self._rx_queue: Deque[Datagram] = deque()
+        #: SO_RCVBUF analogue: a bounded backlog with a counted drop
+        #: reason (softirq context, so the policy is always tail-drop).
+        self._rx_queue = BoundedQueue(
+            capacity=1024, name="udp-rx", drop_reason="socket_rx_overflow"
+        )
         self._rx_waiter: Optional[Event] = None
         self.rx_enqueued = 0
-        self.rx_dropped = 0
-        #: SO_RCVBUF analogue, in datagrams.
-        self.rx_queue_limit = 1024
 
     def bind(self, port: int) -> None:
         """Bind the local port (registers with the stack's UDP demux)."""
@@ -53,12 +54,27 @@ class UdpSocket:
 
     # -- stack-side delivery -------------------------------------------------------
 
+    @property
+    def rx_queue_limit(self) -> int:
+        return self._rx_queue.capacity or 0
+
+    @rx_queue_limit.setter
+    def rx_queue_limit(self, limit: int) -> None:
+        self._rx_queue.capacity = limit
+
+    @property
+    def rx_dropped(self) -> int:
+        """Datagrams tail-dropped at the full backlog."""
+        return self._rx_queue.dropped_total
+
+    @property
+    def rx_drop_reasons(self) -> dict:
+        return dict(self._rx_queue.drops)
+
     def deliver(self, payload: bytes, source: Tuple[int, int]) -> None:
         """Called by the stack's UDP demux (already in softirq context)."""
-        if len(self._rx_queue) >= self.rx_queue_limit:
-            self.rx_dropped += 1
+        if not self._rx_queue.try_push((payload, source)):
             return
-        self._rx_queue.append((payload, source))
         self.rx_enqueued += 1
         if self._rx_waiter is not None:
             waiter, self._rx_waiter = self._rx_waiter, None
@@ -77,18 +93,40 @@ class UdpSocket:
         yield kernel.cpu("syscall_exit")
         return len(payload)
 
-    def recvfrom(self) -> Generator[Any, Any, Datagram]:
-        """``recvfrom(fd, ...)``; blocks until a datagram arrives."""
+    def recvfrom(
+        self, timeout_ps: Optional[int] = None
+    ) -> Generator[Any, Any, Optional[Datagram]]:
+        """``recvfrom(fd, ...)``; blocks until a datagram arrives.
+
+        With *timeout_ps* (the ``SO_RCVTIMEO`` analogue) the wait is
+        bounded: ``None`` is returned if nothing arrived in time, so an
+        overload-aware caller can record the loss and move on instead
+        of stalling forever.  The default (no timeout) is byte-for-byte
+        the historical blocking behaviour.
+        """
         if self.local_port is None:
             raise SocketError("recvfrom on unbound socket (bind first)")
         kernel = self.kernel
         yield kernel.cpu("syscall_entry")
         yield kernel.cpu("sock_lookup")
+        deadline: Optional[Timeout] = None
         while not self._rx_queue:
             if self._rx_waiter is not None:
                 raise SocketError("concurrent recvfrom on one socket not supported")
             self._rx_waiter = Event(name="udp-recv")
-            yield from kernel.block_on(self._rx_waiter)
+            if timeout_ps is None:
+                yield from kernel.block_on(self._rx_waiter)
+            else:
+                from repro.sim.event import AnyOf
+
+                deadline = kernel.sim.timeout(timeout_ps, name="udp-recv-timeout")
+                index, _ = yield AnyOf([self._rx_waiter, deadline])
+                yield kernel.cpu("task_wakeup")
+                if index == 1 and not self._rx_queue:
+                    # Timed out with nothing delivered: unhook the waiter.
+                    self._rx_waiter = None
+                    yield kernel.cpu("syscall_exit")
+                    return None
         payload, source = self._rx_queue.popleft()
         yield kernel.copy(len(payload))  # copy_to_user
         yield kernel.cpu("syscall_exit")

@@ -54,8 +54,11 @@ class NetworkStack(Component):
         self.stats: Dict[str, int] = {
             "udp_tx": 0,
             "udp_rx": 0,
+            "tx_drop_qdisc": 0,
             "rx_drop_no_socket": 0,
             "rx_drop_bad_csum": 0,
+            "rx_drop_ethertype": 0,
+            "rx_drop_proto": 0,
             "arp_rx": 0,
         }
 
@@ -143,9 +146,13 @@ class NetworkStack(Component):
             skb.csum_start = ETH_HEADER_SIZE + IP_HEADER_SIZE
             skb.csum_offset = 6  # UDP checksum field offset
         yield kernel.cpu("dev_xmit")
-        self.stats["udp_tx"] += 1
         self.trace("udp-tx", dst=dst_ip, port=dst_port, bytes=len(payload))
-        yield from device.start_xmit(skb)
+        sent = yield from device.start_xmit(skb)
+        if sent is False:
+            # Qdisc gate tail-dropped the frame: counted, never silent.
+            self.stats["tx_drop_qdisc"] += 1
+        else:
+            self.stats["udp_tx"] += 1
 
     # -- receive path ----------------------------------------------------------------
 
@@ -159,12 +166,14 @@ class NetworkStack(Component):
             yield from self._receive_arp(device, frame)
             return
         if frame.ethertype != ETH_P_IP:
+            self.stats["rx_drop_ethertype"] += 1
             self.trace("rx-drop-ethertype", ethertype=frame.ethertype)
             return
 
         yield kernel.cpu("ip_rx")
         ip_header = Ipv4Header.decode(frame.payload)
         if ip_header.protocol != IPPROTO_UDP:
+            self.stats["rx_drop_proto"] += 1
             self.trace("rx-drop-proto", proto=ip_header.protocol)
             return
 

@@ -60,6 +60,15 @@ class VirtqueueError(RuntimeError):
     """Ring protocol violation (exhaustion, bad chain, bad index)."""
 
 
+class VirtqueueFull(VirtqueueError):
+    """The queue's configured depth limit refused another chain.
+
+    Distinct from plain descriptor exhaustion so callers can treat it
+    as backpressure (count a drop, apply a full-queue policy) rather
+    than a protocol violation.
+    """
+
+
 @dataclass(frozen=True)
 class VirtqDescriptor:
     """One descriptor-table entry."""
@@ -200,12 +209,34 @@ class DriverVirtqueue:
         self._chain_lengths: dict[int, int] = {}
         #: number of buffers currently exposed to the device.
         self.in_flight = 0
+        #: Optional avail-ring depth bound: the driver refuses to expose
+        #: more than this many chains at once (None = ring-size bound
+        #: only).  Installed by the overload-protection layer; chains
+        #: beyond it raise :class:`VirtqueueFull`.
+        self.depth_limit: Optional[int] = None
+        #: Chains refused by the depth limit.
+        self.depth_rejects = 0
 
     # -- descriptor management ----------------------------------------------------
 
     @property
     def num_free(self) -> int:
         return len(self._free)
+
+    def has_room(self, chains: int = 1) -> bool:
+        """Whether *chains* more single-descriptor chains fit under both
+        the ring-size and the configured depth bound."""
+        if len(self._free) < chains:
+            return False
+        return self.depth_limit is None or self.in_flight + chains <= self.depth_limit
+
+    def _check_depth(self) -> None:
+        if self.depth_limit is not None and self.in_flight >= self.depth_limit:
+            self.depth_rejects += 1
+            raise VirtqueueFull(
+                f"queue {self.name}: depth limit {self.depth_limit} reached "
+                f"({self.in_flight} chains in flight)"
+            )
 
     def _write_descriptor(self, index: int, desc: VirtqDescriptor) -> None:
         self.buffer.write(desc.encode(), self._desc_off + DESCRIPTOR_SIZE * index)
@@ -231,6 +262,7 @@ class DriverVirtqueue:
         total = len(out_segments) + len(in_segments)
         if total == 0:
             raise VirtqueueError("buffer chain must have at least one segment")
+        self._check_depth()
         if total > len(self._free):
             raise VirtqueueError(
                 f"queue {self.name}: need {total} descriptors, {len(self._free)} free"
@@ -278,6 +310,7 @@ class DriverVirtqueue:
         total = len(out_segments) + len(in_segments)
         if total == 0:
             raise VirtqueueError("indirect chain must have at least one segment")
+        self._check_depth()
         if table.size < total * DESCRIPTOR_SIZE:
             raise VirtqueueError(
                 f"indirect table of {table.size}B cannot hold {total} descriptors"

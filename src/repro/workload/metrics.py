@@ -48,6 +48,9 @@ class RunMetrics:
     latency_ps: np.ndarray
     occupancy_t_ps: np.ndarray
     occupancy_n: np.ndarray
+    #: reason -> count for every drop folded into ``dropped``; empty
+    #: only when no packet was lost.
+    drop_reasons: Dict[str, int]
 
     @property
     def duration_us(self) -> float:
@@ -104,6 +107,7 @@ class RunMetrics:
             "sent": self.sent,
             "completed": self.completed,
             "dropped": self.dropped,
+            "drop_reasons": dict(sorted(self.drop_reasons.items())),
             "backpressured": self.backpressured,
             "duration_us": self.duration_us,
             "achieved_pps": self.achieved_pps,
@@ -128,6 +132,7 @@ class RunRecorder:
         self.sent = 0
         self.completed = 0
         self.dropped = 0
+        self.drop_reasons: Dict[str, int] = {}
         self.backpressured = 0
         self._in_flight = 0
         self._latency_ps: List[int] = []
@@ -162,9 +167,12 @@ class RunRecorder:
         self._latency_ps.append(latency_ps)
         self._occupancy(now_ps)
 
-    def record_drop(self, now_ps: SimTime) -> None:
-        """An injection was refused (full ring / full software queue)."""
+    def record_drop(self, now_ps: SimTime, reason: str = "queue_full") -> None:
+        """An injection was refused, terminally, for *reason* (full
+        ring, full software queue, admission reject, rate limit,
+        exhausted retries, receive timeout, ...)."""
         self.dropped += 1
+        self.drop_reasons[reason] = self.drop_reasons.get(reason, 0) + 1
         self._occupancy(now_ps)
 
     def record_backpressure(self) -> None:
@@ -176,15 +184,21 @@ class RunRecorder:
         offered_pps: Optional[float] = None,
         outstanding: Optional[int] = None,
         extra_drops: int = 0,
+        extra_drop_reasons: Optional[Dict[str, int]] = None,
     ) -> RunMetrics:
         """Freeze into a :class:`RunMetrics`.
 
         ``extra_drops`` folds in losses counted outside the recorder
-        (e.g. the UDP socket's SO_RCVBUF tail drops).
+        (e.g. the UDP socket's SO_RCVBUF tail drops);
+        ``extra_drop_reasons`` carries their per-reason breakdown.
         """
         duration = 0
         if self._first_send_ps is not None and self._last_event_ps is not None:
             duration = self._last_event_ps - self._first_send_ps
+        reasons = dict(self.drop_reasons)
+        for reason, count in (extra_drop_reasons or {}).items():
+            if count:
+                reasons[reason] = reasons.get(reason, 0) + count
         return RunMetrics(
             driver=self.driver,
             mode=self.mode,
@@ -198,4 +212,5 @@ class RunRecorder:
             latency_ps=np.asarray(self._latency_ps, dtype=np.int64),
             occupancy_t_ps=np.asarray(self._occ_t, dtype=np.int64),
             occupancy_n=np.asarray(self._occ_n, dtype=np.int64),
+            drop_reasons=reasons,
         )

@@ -96,6 +96,14 @@ class LoadSweepResult:
         """Highest achieved throughput anywhere in the sweep."""
         return max(point.metrics.achieved_pps for point in self.points)
 
+    def drop_reason_totals(self) -> Dict[str, int]:
+        """Per-reason drop counts summed across all load points."""
+        totals: Dict[str, int] = {}
+        for point in self.points:
+            for reason, count in point.metrics.drop_reasons.items():
+                totals[reason] = totals.get(reason, 0) + count
+        return dict(sorted(totals.items()))
+
     def throughput_table(self) -> str:
         header = (
             f"Throughput vs offered load ({self.driver}, {self.arrival_kind} "
@@ -109,10 +117,15 @@ class LoadSweepResult:
         for point in self.points:
             m = point.metrics
             util = m.achieved_pps / point.offered_pps if point.offered_pps else 0.0
+            reasons = " ".join(
+                f"{reason}={count}"
+                for reason, count in sorted(m.drop_reasons.items())
+            )
             rows.append(
                 f"{point.offered_pps / 1e3:>10.1f} {m.achieved_pps / 1e3:>10.1f} "
                 f"{util:>6.2f} {m.dropped:>7} {m.backpressured:>7} "
                 f"{m.mean_in_flight:>9.2f} {m.peak_in_flight:>5}"
+                + (f"   [{reasons}]" if reasons else "")
             )
         knee = self.knee_pps()
         rows.append(
@@ -121,6 +134,12 @@ class LoadSweepResult:
                else "not reached in this sweep")
             + f" (capacity {self.capacity_pps() / 1e3:.1f} kpps)"
         )
+        totals = self.drop_reason_totals()
+        if totals:
+            rows.append(
+                "  drops by reason: "
+                + ", ".join(f"{reason}={count}" for reason, count in totals.items())
+            )
         return "\n".join(rows)
 
     def latency_table(self) -> str:
@@ -151,6 +170,7 @@ class LoadSweepResult:
             "base_rate_pps": self.base_rate_pps,
             "knee_pps": self.knee_pps(),
             "capacity_pps": self.capacity_pps(),
+            "drop_reason_totals": self.drop_reason_totals(),
             "points": [
                 {"offered_pps": point.offered_pps, **point.metrics.as_dict()}
                 for point in self.points

@@ -1,0 +1,107 @@
+"""Unit tests for the bounded-queue primitive and per-hop bound wiring."""
+
+import pytest
+
+from repro.core.testbed import build_virtio_testbed, build_xdma_testbed
+from repro.drivers.virtio_net import TRANSMITQ
+from repro.health.bounded import (
+    POLICIES,
+    POLICY_BLOCK,
+    POLICY_DROP,
+    POLICY_REJECT,
+    BoundedQueue,
+    QueueFullError,
+    apply_overload_bounds,
+)
+from repro.workload.admission import OverloadConfig
+
+
+class TestBoundedQueue:
+    def test_fifo_within_capacity(self):
+        q = BoundedQueue(capacity=3, name="t")
+        for item in "abc":
+            assert q.try_push(item)
+        assert len(q) == 3 and bool(q)
+        assert not q.has_room()
+        assert [q.popleft() for _ in range(3)] == ["a", "b", "c"]
+        assert not q and q.has_room()
+        assert q.dropped_total == 0
+
+    def test_drop_policy_counts_under_reason(self):
+        q = BoundedQueue(capacity=1, name="t", policy=POLICY_DROP,
+                         drop_reason="overflow")
+        assert q.try_push(1)
+        assert not q.try_push(2)
+        assert not q.try_push(3, reason="custom")
+        assert q.drops == {"overflow": 1, "custom": 1}
+        assert q.dropped_total == 2
+        assert len(q) == 1  # the resident item survived; newest was dropped
+
+    def test_reject_policy_raises_and_counts(self):
+        q = BoundedQueue(capacity=1, name="busy", policy=POLICY_REJECT,
+                         drop_reason="eagain")
+        q.try_push(1)
+        with pytest.raises(QueueFullError) as err:
+            q.try_push(2)
+        assert err.value.queue_name == "busy"
+        assert err.value.reason == "eagain"
+        assert q.drops == {"eagain": 1}
+
+    def test_block_policy_returns_false_without_counting(self):
+        # Blocking belongs to the caller (it owns the simulator events),
+        # so a full push under block is a refusal but not yet a drop.
+        q = BoundedQueue(capacity=1, policy=POLICY_BLOCK)
+        q.try_push(1)
+        assert not q.try_push(2)
+        assert q.dropped_total == 0
+
+    def test_unbounded_queue_never_refuses(self):
+        q = BoundedQueue(capacity=None)
+        for i in range(10_000):
+            assert q.try_push(i)
+        assert q.has_room() and q.dropped_total == 0
+
+    def test_count_drop_outside_push(self):
+        q = BoundedQueue(capacity=4, drop_reason="default")
+        q.count_drop()
+        q.count_drop("other", n=3)
+        assert q.drops == {"default": 1, "other": 3}
+
+    @pytest.mark.parametrize("capacity", [0, -1])
+    def test_nonpositive_capacity_rejected(self, capacity):
+        with pytest.raises(ValueError):
+            BoundedQueue(capacity=capacity)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            BoundedQueue(capacity=1, policy="linger")
+        assert set(POLICIES) == {POLICY_DROP, POLICY_BLOCK, POLICY_REJECT}
+
+
+class TestApplyOverloadBounds:
+    def test_virtio_bounds_installed(self):
+        testbed = build_virtio_testbed(seed=1)
+        config = OverloadConfig(socket_rx_limit=32, tx_depth_limit=16)
+        apply_overload_bounds(testbed, config)
+        assert testbed.socket.rx_queue_limit == 32
+        assert testbed.driver.transport.queue(TRANSMITQ).depth_limit == 16
+        assert testbed.driver.netdev.can_xmit == testbed.driver.tx_has_room
+
+    def test_xdma_pending_window_installed(self):
+        testbed = build_xdma_testbed(seed=1)
+        apply_overload_bounds(testbed, OverloadConfig(xdma_max_pending=4))
+        assert testbed.driver.max_pending == 4
+
+    def test_none_bounds_leave_limits_untouched(self):
+        testbed = build_virtio_testbed(seed=1)
+        before = testbed.socket.rx_queue_limit
+        apply_overload_bounds(testbed, OverloadConfig())
+        assert testbed.socket.rx_queue_limit == before
+        assert testbed.driver.transport.queue(TRANSMITQ).depth_limit is None
+        xdma = build_xdma_testbed(seed=1)
+        apply_overload_bounds(xdma, OverloadConfig())
+        assert xdma.driver.max_pending is None
+
+    def test_unknown_testbed_type_rejected(self):
+        with pytest.raises(TypeError):
+            apply_overload_bounds(object(), OverloadConfig())

@@ -1,0 +1,125 @@
+"""Unit tests for the exactly-once conservation ledger."""
+
+from repro.health.monitor import ConservationMonitor
+
+
+def _finalize(monitor):
+    report = monitor.finalize()
+    return report
+
+
+class TestHealthyLedgers:
+    def test_all_delivered(self):
+        m = ConservationMonitor("virtio", "open")
+        for seq in range(5):
+            m.admit(seq)
+        for seq in range(5):
+            m.deliver(seq)
+        report = _finalize(m)
+        assert report.conserved and report.verdict == "PASS"
+        assert (report.offered, report.admitted, report.delivered,
+                report.dropped) == (5, 5, 5, 0)
+
+    def test_pre_admission_drop_is_offered_and_dropped(self):
+        # A rate-limited or admission-rejected packet never enters the
+        # system but still counts against offered load, with a reason.
+        m = ConservationMonitor()
+        m.drop(0, "rate_limited")
+        m.drop(1, "admission_limit")
+        report = _finalize(m)
+        assert report.conserved
+        assert report.offered == 2 and report.admitted == 0
+        assert report.drop_reasons == {"rate_limited": 1, "admission_limit": 1}
+
+    def test_admitted_then_dropped(self):
+        m = ConservationMonitor()
+        m.admit(0)
+        m.drop(0, "retries_exhausted")
+        report = _finalize(m)
+        assert report.conserved
+        assert report.offered == report.delivered + report.dropped == 1
+
+    def test_in_flight_reconciled_against_hop_counters(self):
+        # An echo tail-dropped at the socket backlog leaves its packet
+        # in flight; the hop counter is the recorded reason.
+        m = ConservationMonitor()
+        m.admit(0)
+        m.admit(1)
+        m.deliver(1)
+        m.note_hop_drops("socket_rx", 1)
+        report = _finalize(m)
+        assert report.conserved
+        assert report.drop_reasons == {"hop:in_flight_lost": 1}
+        assert report.hop_drops == {"socket_rx": 1}
+        assert report.offered == report.delivered + report.dropped == 2
+
+    def test_zero_count_hop_note_ignored(self):
+        m = ConservationMonitor()
+        m.note_hop_drops("socket_rx", 0)
+        assert _finalize(m).hop_drops == {}
+
+
+class TestViolations:
+    def test_double_admit(self):
+        m = ConservationMonitor()
+        m.admit(0)
+        m.admit(0)
+        assert not _finalize(m).conserved
+
+    def test_ghost_completion(self):
+        m = ConservationMonitor()
+        m.deliver(7)
+        report = _finalize(m)
+        assert any("ghost" in v for v in report.violations)
+
+    def test_duplicate_delivery(self):
+        m = ConservationMonitor()
+        m.admit(0)
+        m.deliver(0)
+        m.deliver(0)
+        report = _finalize(m)
+        assert any("twice" in v for v in report.violations)
+
+    def test_drop_after_delivery(self):
+        m = ConservationMonitor()
+        m.admit(0)
+        m.deliver(0)
+        m.drop(0, "late")
+        assert not _finalize(m).conserved
+
+    def test_silent_loss_without_hop_evidence(self):
+        m = ConservationMonitor()
+        m.admit(0)
+        report = _finalize(m)
+        assert report.verdict == "FAIL"
+        assert any("lost without a recorded reason" in v
+                   for v in report.violations)
+
+    def test_leftovers_beyond_hop_budget(self):
+        # Two packets vanish but only one hop drop was counted: one is
+        # reconciled, the other is a silent loss.
+        m = ConservationMonitor()
+        m.admit(0)
+        m.admit(1)
+        m.note_hop_drops("socket_rx", 1)
+        report = _finalize(m)
+        assert not report.conserved
+        assert report.drop_reasons.get("hop:in_flight_lost") == 1
+
+
+class TestReportShape:
+    def test_as_dict_round_trips_counts(self):
+        m = ConservationMonitor("xdma", "open")
+        m.admit(0)
+        m.deliver(0)
+        m.drop(1, "queue_full")
+        d = _finalize(m).as_dict()
+        assert d["driver"] == "xdma" and d["mode"] == "open"
+        assert d["offered"] == d["delivered"] + d["dropped"] == 2
+        assert d["verdict"] == "PASS" and d["violations"] == []
+
+    def test_render_mentions_identity_and_reasons(self):
+        m = ConservationMonitor("virtio", "open")
+        m.drop(0, "queue_full")
+        text = _finalize(m).render()
+        assert "virtio/open" in text and "queue_full=1" in text
