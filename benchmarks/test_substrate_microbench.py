@@ -161,3 +161,37 @@ def test_max_events_budget_is_exact(benchmark):
         return sim.events_executed
 
     assert benchmark(run_with_budget) == 1000
+
+
+# -- zero-copy data-plane guards ----------------------------------------------
+
+#: Materializing host-memory copies (``PhysicalMemory.read`` calls)
+#: allowed per steady-state echo round trip.  Deterministic counts, not
+#: timings: the zero-copy data plane holds virtio to ~12 (descriptor
+#: table walks dominate; the payload itself is snapshotted once in the
+#: driver RX path) and xdma to 4 (descriptor fetch, C2H pooled
+#: snapshot, chardev read, status readback).  A budget breach means a
+#: copy crept back into a hot path.
+VIRTIO_COPIES_PER_PACKET_BUDGET = 12.5
+XDMA_COPIES_PER_PACKET_BUDGET = 4.25
+
+
+@pytest.mark.benchmark(group="copies")
+def test_virtio_copies_per_packet_budget(benchmark):
+    from repro.exec.bench import measure_copies_per_packet
+
+    counts = benchmark.pedantic(
+        measure_copies_per_packet, args=("virtio",), rounds=1, iterations=1
+    )
+    assert counts["read"] <= VIRTIO_COPIES_PER_PACKET_BUDGET
+    assert counts["read_into"] >= 0  # in-place fills are free of budget
+
+
+@pytest.mark.benchmark(group="copies")
+def test_xdma_copies_per_packet_budget(benchmark):
+    from repro.exec.bench import measure_copies_per_packet
+
+    counts = benchmark.pedantic(
+        measure_copies_per_packet, args=("xdma",), rounds=1, iterations=1
+    )
+    assert counts["read"] <= XDMA_COPIES_PER_PACKET_BUDGET

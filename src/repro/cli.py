@@ -39,6 +39,13 @@ parallel perf trajectory::
 
     virtio-fpga-repro table1 --packets 50000 -j 8
     virtio-fpga-repro bench --packets 2000 --jobs 4   # writes BENCH_<rev>.json
+
+``bench --check`` is the regression gate: it re-measures events/s
+(cpu-score normalized) and the deterministic copies-per-packet counts
+on the committed baseline's workload and exits 1 on regression::
+
+    virtio-fpga-repro bench --check
+    virtio-fpga-repro bench --check --baseline BENCH_baseline.json --tolerance 0.15
 """
 
 from __future__ import annotations
@@ -204,6 +211,29 @@ def _parser() -> argparse.ArgumentParser:
         help="per-opportunity fault probability layered on top of the "
         "overload (sweep default: none; soak default: 0.02)",
     )
+    gate = parser.add_argument_group("bench options")
+    gate.add_argument(
+        "--check",
+        action="store_true",
+        help="regression-gate mode: re-measure events/s and copy counts "
+        "on the baseline's workload and fail (exit 1) on regression "
+        "beyond --tolerance, instead of writing a new record",
+    )
+    gate.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="baseline record for --check (default: BENCH_baseline.json)",
+    )
+    gate.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        metavar="F",
+        help="allowed fractional events/s regression for --check, after "
+        "cpu-score normalization (default: 0.15; copy counts are gated "
+        "exactly regardless)",
+    )
     return parser
 
 
@@ -229,8 +259,38 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--fault-rate must be a probability in [0, 1]")
     if args.jobs is not None and args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.check and args.artifact != "bench":
+        parser.error("--check is a bench option")
+    if args.tolerance is not None and not 0.0 < args.tolerance < 1.0:
+        parser.error("--tolerance must be a fraction in (0, 1)")
 
     started = time.time()
+    if args.artifact == "bench" and args.check:
+        from repro.exec.bench import (
+            DEFAULT_BASELINE,
+            DEFAULT_TOLERANCE,
+            render_check,
+            run_check,
+        )
+
+        baseline = args.baseline if args.baseline is not None else DEFAULT_BASELINE
+        tolerance = args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE
+        try:
+            ok, report = run_check(
+                baseline_path=baseline, tolerance=tolerance,
+                packets=args.packets, seed=args.seed if args.seed != 0 else None,
+            )
+        except FileNotFoundError:
+            parser.error(f"baseline record not found: {baseline}")
+        if args.json:
+            print(json.dumps(report, indent=2))
+        else:
+            print(render_check(report))
+        print(
+            f"\n[bench --check vs {baseline}, {time.time() - started:.1f}s]",
+            file=sys.stderr,
+        )
+        return 0 if ok else 1
     if args.artifact == "bench":
         import os
 

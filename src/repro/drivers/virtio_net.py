@@ -254,17 +254,19 @@ class VirtioNetDriver:
             )
         buffer = self._tx_buffers[self._tx_slot]
         self._tx_slot = (self._tx_slot + 1) % TX_POOL_SIZE
-        payload = header.encode() + skb.data
-        if len(payload) > buffer.size:
-            raise RuntimeError(f"frame of {len(payload)}B exceeds TX buffer")
+        total = VIRTIO_NET_HDR_SIZE + len(skb.data)
+        if total > buffer.size:
+            raise RuntimeError(f"frame of {total}B exceeds TX buffer")
         # The skb's pages are already DMA-visible; placing the bytes in
         # the pool buffer models the header prepend + page mapping, whose
-        # CPU cost is the virtio_add_buf segment.
-        buffer.write(payload)
+        # CPU cost is the virtio_add_buf segment.  Header and frame are
+        # written separately so no concatenated intermediate is built.
+        buffer.write(header.encode())
+        buffer.write(skb.data, VIRTIO_NET_HDR_SIZE)
         yield kernel.cpu("virtio_add_buf")
-        head = vq.add_buffer([(buffer.addr, len(payload))], [])
+        head = vq.add_buffer([(buffer.addr, total)], [])
         vq.publish()
-        self._pending_tx[head] = (buffer.addr, len(payload))
+        self._pending_tx[head] = (buffer.addr, total)
         self._tx_outstanding += 1
         # The single runtime doorbell (Section IV-A).
         self.tx_kicks += 1
@@ -306,9 +308,13 @@ class VirtioNetDriver:
                 break
             yield kernel.cpu("virtio_get_buf")
             buffer = self._rx_buffers.pop(elem.head)
+            # The snapshot copy is required: the buffer is reposted
+            # below and the device may DMA into it while the stack is
+            # still parsing.  Everything downstream (frame, IP, UDP,
+            # datagram) is a view of this one private snapshot.
             raw = buffer.read(0, elem.written)
             header = VirtioNetHeader.decode(raw)
-            frame = raw[VIRTIO_NET_HDR_SIZE:]
+            frame = memoryview(raw)[VIRTIO_NET_HDR_SIZE:]
             skb = Skb(data=frame)
             if header.flags & VIRTIO_NET_HDR_F_DATA_VALID:
                 skb.ip_summed = CHECKSUM_UNNECESSARY

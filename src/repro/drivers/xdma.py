@@ -87,6 +87,12 @@ class XdmaCharDriver(CharDevice):
         self._c2h_data: Optional[DmaBuffer] = None
         self._h2c_done: Optional[Event] = None
         self._c2h_done: Optional[Event] = None
+        # Completion-event names are fixed per channel; building the
+        # f-string once avoids per-transfer formatting on the hot path.
+        self._done_event_names = {
+            "_h2c_done": f"{name}._h2c_done",
+            "_c2h_done": f"{name}._c2h_done",
+        }
         self._readable = Event(name=f"{name}.readable")
         self._c2h_notify = False
         self.h2c_vector = -1
@@ -259,7 +265,7 @@ class XdmaCharDriver(CharDevice):
                 channel_base, sgdma_base, descriptor_buf, done_attr
             )
             return
-        done = Event(name=f"{self.name}.{done_attr}")
+        done = Event(name=self._done_event_names[done_attr])
         setattr(self, done_attr, done)
         # Program the SGDMA pointer and start the engine: three posted
         # MMIO writes per transfer (versus VirtIO's single doorbell).
@@ -303,7 +309,7 @@ class XdmaCharDriver(CharDevice):
         control = regs.CTRL_RUN | regs.CTRL_IE_DESC_STOPPED | regs.CTRL_IE_DESC_COMPLETED
         first_timeout_at = None
         for attempt in range(self.max_retries + 1):
-            done = Event(name=f"{self.name}.{done_attr}")
+            done = Event(name=self._done_event_names[done_attr])
             setattr(self, done_attr, done)
             yield kernel.mmio_write(
                 sg_base + regs.SGDMA_DESC_LO,

@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.faults.plan import KIND_LOST_IRQ, KIND_SPURIOUS_USR_IRQ, SITE_XDMA_ENGINE
+from repro.mem.bufpool import BufferPool
 from repro.mem.region import AddressSpace, MemoryRegion
 from repro.pcie.config_space import ConfigSpace
 from repro.pcie.device import PcieEndpoint
@@ -134,6 +135,9 @@ class XdmaCore(Component):
 
         # AXI-MM master address space toward fabric memories/logic.
         self.axi_space = AddressSpace(name=f"{name}.axi")
+        #: Pooled staging buffers for C2H payload snapshots (recycled
+        #: bytearray segments; see repro.mem.bufpool).
+        self.bufpool = BufferPool(segment_size=2048, name=f"{name}.bufpool")
 
         # Engines.
         self.h2c: List[DmaEngine] = [
@@ -281,6 +285,11 @@ class XdmaCore(Component):
 
     def axi_write(self, addr: int, data: bytes) -> None:
         self.axi_space.write(addr, data)
+
+    def axi_read_into(self, addr: int, buf) -> None:
+        """Read ``len(buf)`` AXI bytes straight into caller-owned *buf*
+        (no intermediate ``bytes``)."""
+        self.axi_space.read_into(addr, buf)
 
     def axi_access_time(self, addr: int, length: int) -> SimTime:
         """Access time of the AXI target at *addr* (regions without a

@@ -77,6 +77,10 @@ class DmaEngine(Component):
         self.core = core
         self.direction = direction
         self.channel = channel
+        # Fixed fabric-time costs (the clock never changes after build).
+        self._desc_process_time = core.clock.cycles_to_time(DESC_PROCESS_CYCLES)
+        self._bypass_event_name = f"{self.path}.bypass"
+        self._completion_time = core.clock.cycles_to_time(COMPLETION_CYCLES)
         # Register state (mirrored by the register file hooks).
         self.control = 0
         self.status = STAT_DESC_STOPPED
@@ -146,7 +150,7 @@ class DmaEngine(Component):
                 try:
                     desc = XdmaDescriptor.decode(raw)
                 except DescriptorError as err:
-                    yield self.core.clock.cycles_to_time(COMPLETION_CYCLES)
+                    yield self._completion_time
                     self.status = STAT_DESC_STOPPED | STAT_DESC_ERROR
                     perf.stop(self._perf_name())
                     self.trace("sgdma-desc-error", error=str(err))
@@ -165,7 +169,7 @@ class DmaEngine(Component):
             if desc.stop or not (self.control & CTRL_RUN):
                 break
             addr = desc.next_addr
-        yield self.core.clock.cycles_to_time(COMPLETION_CYCLES)
+        yield self._completion_time
         self.status = STAT_DESC_STOPPED | STAT_DESC_COMPLETED
         perf.stop(self._perf_name())
         if self.control & CTRL_POLLMODE_WB_ENABLE and self.poll_wb_address:
@@ -189,7 +193,7 @@ class DmaEngine(Component):
         descriptor is complete.  Descriptors execute in submission
         order, one at a time (the engine has a single data mover).
         """
-        done = Event(name=f"{self.path}.bypass")
+        done = Event(name=self._bypass_event_name)
         self._bypass_fifo.append((desc, done))
         if not self._bypass_busy:
             self._bypass_busy = True
@@ -210,22 +214,30 @@ class DmaEngine(Component):
 
     def _execute(self, desc: XdmaDescriptor):
         """Move one descriptor's worth of data."""
-        yield self.core.clock.cycles_to_time(DESC_PROCESS_CYCLES)
+        yield self._desc_process_time
         if self.direction is Direction.H2C:
             data = yield self.core.endpoint.dma_read(desc.src_addr, desc.length)
             yield self.core.axi_access_time(desc.dst_addr, desc.length)
             self.core.axi_write(desc.dst_addr, data)
         else:
             yield self.core.axi_access_time(desc.src_addr, desc.length)
-            data = self.core.axi_read(desc.src_addr, desc.length)
-            yield self.core.endpoint.dma_write(desc.dst_addr, data)
+            # Snapshot the AXI source into a pooled buffer: the staging
+            # slot may be rewritten while the write TLPs are in flight,
+            # so the payload views must reference this private copy.
+            ref = self.core.bufpool.acquire(desc.length)
+            self.core.axi_read_into(desc.src_addr, ref.view())
+            yield self.core.endpoint.dma_write(desc.dst_addr, ref.handoff())
+            # The delivery event fired: the link holds no live payload
+            # views, so the segment can be recycled.
+            ref.release()
         self.descriptors_executed += 1
         self.bytes_moved += desc.length
         self.last_descriptor_length = desc.length
-        self.trace(
-            "desc-executed",
-            direction=self.direction.value,
-            length=desc.length,
-            src=desc.src_addr,
-            dst=desc.dst_addr,
-        )
+        if self.tracer.enabled:
+            self.trace(
+                "desc-executed",
+                direction=self.direction.value,
+                length=desc.length,
+                src=desc.src_addr,
+                dst=desc.dst_addr,
+            )

@@ -50,7 +50,7 @@ class HostKernel(Component):
         self.rc = rc
         self.memory: PhysicalMemory = rc.host_memory
         self.dma = DmaAllocator(self.memory)
-        self.costs = costs if costs is not None else default_cost_model()
+        self.costs = costs if costs is not None else default_cost_model()  # property: also binds hot-path caches
         self.clock = MonotonicClock(sim)
         self.irqc = InterruptController(sim, self, parent=self)
         rc.set_msi_handler(self.irqc.deliver_msi)
@@ -64,6 +64,21 @@ class HostKernel(Component):
 
     # -- CPU time ---------------------------------------------------------------
 
+    @property
+    def costs(self) -> CostModel:
+        return self._costs
+
+    @costs.setter
+    def costs(self, model: CostModel) -> None:
+        # ``cpu`` runs once per software segment of every round trip;
+        # bind the segment table and interference model here so the hot
+        # path skips two attribute chains and a method call.  Tests that
+        # swap the cost model (``kernel.costs = ...``) go through this
+        # setter, keeping the caches coherent.
+        self._costs = model
+        self._segments = model.segments
+        self._interference = model.interference
+
     def cpu(self, segment: str, extra_ps: SimTime = 0) -> SimTime:
         """Sampled duration of one software segment, to be yielded.
 
@@ -71,8 +86,11 @@ class HostKernel(Component):
         per-byte copy cost) before interference is applied, so long
         copies are proportionally more likely to be preempted.
         """
-        duration = self.costs.segment(segment).sample(self._cpu_rng) + extra_ps
-        stall = self.costs.interference.stall_during(duration, self._interference_rng)
+        model = self._segments.get(segment)
+        if model is None:
+            raise KeyError(f"no cost segment named {segment!r}")
+        duration = model.sample(self._cpu_rng) + extra_ps
+        stall = self._interference.stall_during(duration, self._interference_rng)
         if stall:
             self.trace("preemption", segment=segment, stall_ps=stall)
         return duration + stall

@@ -14,7 +14,9 @@ import numpy as np
 def ones_complement_sum(data: bytes) -> int:
     """16-bit one's-complement sum of *data* (odd length zero-padded)."""
     if len(data) % 2:
-        data = data + b"\x00"
+        # join (not +) so memoryview inputs from the zero-copy RX path
+        # work without a prior materialization.
+        data = b"".join((data, b"\x00"))
     words = np.frombuffer(data, dtype=">u2").astype(np.uint64)
     total = int(words.sum())
     while total >> 16:

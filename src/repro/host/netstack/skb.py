@@ -25,7 +25,14 @@ CHECKSUM_UNNECESSARY = "unnecessary"
 
 @dataclass
 class Skb:
-    """One packet in flight through the host stack."""
+    """One packet in flight through the host stack.
+
+    ``data`` may be any bytes-like object (``bytes`` or a read-only
+    ``memoryview`` of the driver's frame snapshot).  Views are only
+    guaranteed valid while the skb is being processed -- anything that
+    must outlive stack processing (socket delivery) materializes its
+    own copy.
+    """
 
     data: bytes
     protocol: int = 0

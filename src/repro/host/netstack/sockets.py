@@ -72,7 +72,16 @@ class UdpSocket:
         return dict(self._rx_queue.drops)
 
     def deliver(self, payload: bytes, source: Tuple[int, int]) -> None:
-        """Called by the stack's UDP demux (already in softirq context)."""
+        """Called by the stack's UDP demux (already in softirq context).
+
+        This is the data plane's one RX copy (the ``copy_to_user``
+        analogue): upstream layers hand down views of the driver's
+        frame snapshot, and the datagram is materialized here because
+        the application may hold it indefinitely while the backing
+        buffer is recycled.
+        """
+        if not isinstance(payload, bytes):
+            payload = bytes(payload)
         if not self._rx_queue.try_push((payload, source)):
             return
         self.rx_enqueued += 1

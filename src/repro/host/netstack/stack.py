@@ -161,17 +161,26 @@ class NetworkStack(Component):
         kernel = self.kernel
         device.rx_packets += 1
         yield kernel.cpu("netif_receive")
-        frame = EthernetFrame.decode(skb.data)
-        if frame.ethertype == ETH_P_ARP:
-            yield from self._receive_arp(device, frame)
+        # Zero-copy parse: the UDP hot path walks read-only views over
+        # skb.data (itself a view of the driver's private RX snapshot)
+        # instead of materializing per-layer payload copies.  The skb
+        # owns the backing bytes for the whole softirq; the single
+        # copy happens at the socket boundary (UdpSocket.deliver).
+        data = skb.data
+        if len(data) < ETH_HEADER_SIZE:
+            raise ValueError(f"frame too short: {len(data)}B")
+        ethertype = int.from_bytes(data[12:14], "big")
+        if ethertype == ETH_P_ARP:
+            yield from self._receive_arp(device, EthernetFrame.decode(data))
             return
-        if frame.ethertype != ETH_P_IP:
+        if ethertype != ETH_P_IP:
             self.stats["rx_drop_ethertype"] += 1
-            self.trace("rx-drop-ethertype", ethertype=frame.ethertype)
+            self.trace("rx-drop-ethertype", ethertype=ethertype)
             return
 
         yield kernel.cpu("ip_rx")
-        ip_header = Ipv4Header.decode(frame.payload)
+        packet = memoryview(data)[ETH_HEADER_SIZE:]
+        ip_header = Ipv4Header.decode(packet)
         if ip_header.protocol != IPPROTO_UDP:
             self.stats["rx_drop_proto"] += 1
             self.trace("rx-drop-proto", proto=ip_header.protocol)
@@ -179,7 +188,7 @@ class NetworkStack(Component):
 
         yield kernel.cpu("udp_rx")
         # total_length bounds the datagram (frames may carry padding).
-        datagram = frame.payload[IP_HEADER_SIZE : ip_header.total_length]
+        datagram = packet[IP_HEADER_SIZE : ip_header.total_length]
         udp_header = UdpHeader.decode(datagram)
         if skb.ip_summed != CHECKSUM_UNNECESSARY and udp_header.checksum != 0:
             yield kernel.checksum(len(datagram))

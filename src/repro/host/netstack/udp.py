@@ -70,7 +70,9 @@ def udp_checksum(src_ip: int, dst_ip: int, datagram: bytes) -> int:
 
     Returns 0xFFFF instead of 0, per RFC 768 (0 means "no checksum").
     """
-    zeroed = datagram[:6] + b"\x00\x00" + datagram[8:]
+    # b"".join accepts memoryviews, so the RX path can pass datagram
+    # views straight from the frame buffer without materializing first.
+    zeroed = b"".join((datagram[:6], b"\x00\x00", datagram[8:]))
     csum = internet_checksum(pseudo_header(src_ip, dst_ip, IPPROTO_UDP, len(datagram)) + zeroed)
     return csum if csum != 0 else 0xFFFF
 
@@ -81,6 +83,6 @@ def udp_checksum_valid(src_ip: int, dst_ip: int, datagram: bytes) -> bool:
     if header.checksum == 0:
         return True
     total = ones_complement_sum(
-        pseudo_header(src_ip, dst_ip, IPPROTO_UDP, len(datagram)) + datagram
+        b"".join((pseudo_header(src_ip, dst_ip, IPPROTO_UDP, len(datagram)), datagram))
     )
     return total == 0xFFFF

@@ -1,0 +1,206 @@
+"""Pooled data-plane buffers with explicit ownership handoff.
+
+The zero-copy data plane threads ``memoryview`` references through the
+PCIe/virtio/XDMA hot paths instead of materializing a ``bytes`` copy at
+every hop.  Views need a stable backing store with a clear owner, so the
+staging copies that *do* remain (DMA-read snapshots, descriptor-chain
+gathers) come out of a :class:`BufferPool`: recycled ``bytearray``
+segments wrapped in :class:`BufferRef` handles.
+
+Ownership rules (see docs/architecture.md, "Zero-copy data plane"):
+
+* ``acquire()`` returns a :class:`BufferRef` owned by the caller, who may
+  mutate it through ``view()``.
+* ``handoff()`` transfers the payload to a consumer: the producer keeps
+  the obligation to ``release()`` but loses the right to mutate.  The
+  consumer reads through ``readonly()``.
+* ``release()`` returns the segment to the pool's free list.  Any later
+  access through the ref raises.
+
+Reuse is a LIFO free list keyed by capacity bucket, so for a fixed
+acquire/release sequence the mapping of refs to segments is a pure
+function of program order -- identical in every worker process, which is
+what keeps pooled runs byte-identical across ``--jobs``.
+
+Debug mode (``debug=True`` or ``REPRO_BUFPOOL_DEBUG=1``) adds the safety
+checks the tests exercise: use-after-release, mutation-after-handoff,
+double release, and releasing a segment while exported views are still
+alive (the aliasing hazard -- the recycled segment would be visible
+through a stale view).  The liveness check leans on CPython's buffer
+protocol: resizing a ``bytearray`` with exported buffers raises
+``BufferError``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List
+
+
+class BufferPoolError(RuntimeError):
+    """A buffer-ownership rule was violated."""
+
+
+def _env_debug() -> bool:
+    return os.environ.get("REPRO_BUFPOOL_DEBUG", "") not in ("", "0")
+
+
+def _bucket(length: int, minimum: int) -> int:
+    """Capacity bucket for *length*: the smallest power of two >= both."""
+    cap = minimum
+    while cap < length:
+        cap <<= 1
+    return cap
+
+
+class BufferRef:
+    """A caller-owned slice of a pooled segment.
+
+    Exposes the first ``length`` bytes of the backing segment.  The ref
+    itself is the ownership token; the raw ``bytearray`` never escapes.
+    """
+
+    __slots__ = ("_pool", "_segment", "_segment_id", "length", "_released", "_handed_off")
+
+    def __init__(self, pool: "BufferPool", segment: bytearray, segment_id: int, length: int) -> None:
+        self._pool = pool
+        self._segment = segment
+        self._segment_id = segment_id
+        self.length = length
+        self._released = False
+        self._handed_off = False
+
+    @property
+    def segment_id(self) -> int:
+        """Identity of the backing segment (deterministic-reuse tests)."""
+        return self._segment_id
+
+    def _check_live(self) -> None:
+        if self._released:
+            raise BufferPoolError(
+                f"use after release of pooled buffer (segment {self._segment_id} "
+                f"of pool {self._pool.name!r})"
+            )
+
+    def view(self) -> memoryview:
+        """Writable view of the payload.  Owner-only: invalid after
+        ``handoff()`` or ``release()``."""
+        self._check_live()
+        if self._handed_off:
+            raise BufferPoolError(
+                f"mutation after handoff of pooled buffer (segment {self._segment_id} "
+                f"of pool {self._pool.name!r})"
+            )
+        return memoryview(self._segment)[: self.length]
+
+    def readonly(self) -> memoryview:
+        """Read-only view of the payload (what consumers receive)."""
+        self._check_live()
+        return memoryview(self._segment).toreadonly()[: self.length]
+
+    def handoff(self) -> memoryview:
+        """Transfer the payload to a consumer.
+
+        Returns the read-only view the consumer should use.  The producer
+        keeps the release obligation but may no longer mutate.
+        """
+        self._check_live()
+        self._handed_off = True
+        return self.readonly()
+
+    def release(self) -> None:
+        """Return the segment to the pool."""
+        self._check_live()
+        self._released = True
+        self._pool._reclaim(self)
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __bytes__(self) -> bytes:
+        self._check_live()
+        return bytes(self._segment[: self.length])
+
+    def __repr__(self) -> str:
+        state = "released" if self._released else ("handed-off" if self._handed_off else "owned")
+        return f"<BufferRef seg={self._segment_id} len={self.length} {state}>"
+
+
+class BufferPool:
+    """Recycled ``bytearray`` segments for data-plane staging copies."""
+
+    def __init__(self, segment_size: int = 4096, name: str = "bufpool", debug: bool | None = None) -> None:
+        if segment_size <= 0:
+            raise ValueError(f"segment size must be positive, got {segment_size}")
+        self.segment_size = segment_size
+        self.name = name
+        self.debug = _env_debug() if debug is None else debug
+        self._free: Dict[int, List[tuple]] = {}  # bucket -> [(segment, id), ...] LIFO
+        self._next_id = 0
+        self.allocated = 0  # segments ever created
+        self.acquires = 0
+        self.reuses = 0
+        self.outstanding = 0
+        self.high_water = 0
+
+    def acquire(self, length: int) -> BufferRef:
+        """A ref over at least *length* writable bytes (zero-length ok)."""
+        if length < 0:
+            raise ValueError(f"negative buffer length {length}")
+        cap = _bucket(length, self.segment_size)
+        free = self._free.get(cap)
+        if free:
+            segment, segment_id = free.pop()
+            if self.debug:
+                self._probe_exports(segment, segment_id)
+            self.reuses += 1
+        else:
+            segment = bytearray(cap)
+            segment_id = self._next_id
+            self._next_id += 1
+            self.allocated += 1
+        self.acquires += 1
+        self.outstanding += 1
+        if self.outstanding > self.high_water:
+            self.high_water = self.outstanding
+        return BufferRef(self, segment, segment_id, length)
+
+    def acquire_from(self, data) -> BufferRef:
+        """Acquire a ref pre-filled with a copy of *data*."""
+        ref = self.acquire(len(data))
+        if ref.length:
+            ref.view()[:] = data
+        return ref
+
+    def _probe_exports(self, segment: bytearray, segment_id: int) -> None:
+        """Raise if *segment* still has exported buffer views.
+
+        Run at *reacquire* time, not release time: a consumer's view may
+        legitimately sit on the call stack while the producer releases;
+        the aliasing hazard is real only once the segment is recycled
+        while such a view persists.  The probe leans on the buffer
+        protocol -- resizing a ``bytearray`` with exports raises.
+        """
+        try:
+            segment.append(0)
+            segment.pop()
+        except BufferError:
+            raise BufferPoolError(
+                f"segment {segment_id} of pool {self.name!r} recycled while views "
+                f"of its previous use are still exported (aliasing hazard)"
+            ) from None
+
+    def _reclaim(self, ref: BufferRef) -> None:
+        segment = ref._segment
+        self.outstanding -= 1
+        cap = len(segment)
+        self._free.setdefault(cap, []).append((segment, ref._segment_id))
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "allocated": self.allocated,
+            "acquires": self.acquires,
+            "reuses": self.reuses,
+            "outstanding": self.outstanding,
+            "high_water": self.high_water,
+        }

@@ -42,6 +42,22 @@ class DmaBuffer:
             raise IndexError(f"read [{offset},{offset + length}) outside buffer of {self.size}")
         return self.memory.read(self.addr + offset, length)
 
+    def read_into(self, buf, offset: int = 0) -> None:
+        """Copy ``len(buf)`` bytes into caller-owned *buf* (no
+        intermediate ``bytes``)."""
+        length = len(buf)
+        if offset < 0 or offset + length > self.size:
+            raise IndexError(f"read [{offset},{offset + length}) outside buffer of {self.size}")
+        self.memory.read_into(self.addr + offset, buf)
+
+    def view(self, offset: int = 0, length: int | None = None) -> memoryview:
+        """Read-only view of the buffer contents (aliases live memory)."""
+        if length is None:
+            length = self.size - offset
+        if offset < 0 or offset + length > self.size:
+            raise IndexError(f"view [{offset},{offset + length}) outside buffer of {self.size}")
+        return self.memory.view(self.addr + offset, length)
+
     def write(self, data: bytes, offset: int = 0) -> None:
         if offset < 0 or offset + len(data) > self.size:
             raise IndexError(

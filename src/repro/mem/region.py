@@ -35,6 +35,22 @@ class MemoryRegion:
     def write(self, offset: int, data: bytes) -> None:
         raise NotImplementedError
 
+    def read_into(self, offset: int, buf) -> None:
+        """Copy ``len(buf)`` bytes at *offset* into caller-owned *buf*.
+
+        The base implementation goes through :meth:`read`; dense regions
+        override it to skip the intermediate ``bytes``.
+        """
+        memoryview(buf)[:] = self.read(offset, len(buf))
+
+    def view(self, offset: int, length: int) -> memoryview:
+        """Read-only view of *length* bytes at *offset*.
+
+        Zero-copy where the backing store allows it (RAM-like regions);
+        the base implementation wraps a :meth:`read` snapshot.
+        """
+        return memoryview(self.read(offset, length))
+
     def _check(self, offset: int, length: int) -> None:
         if offset < 0 or length < 0 or offset + length > self.size:
             raise MemoryAccessError(
@@ -60,6 +76,15 @@ class RamRegion(MemoryRegion):
     def write(self, offset: int, data: bytes) -> None:
         self._check(offset, len(data))
         self._data[offset : offset + len(data)] = data
+
+    def read_into(self, offset: int, buf) -> None:
+        length = len(buf)
+        self._check(offset, length)
+        memoryview(buf)[:] = self._data[offset : offset + length]
+
+    def view(self, offset: int, length: int) -> memoryview:
+        self._check(offset, length)
+        return memoryview(self._data).toreadonly()[offset : offset + length]
 
     @property
     def raw(self) -> bytearray:
@@ -174,6 +199,26 @@ class AddressSpace:
                 f"write [{addr:#x},{addr + len(data):#x}) straddles mapping of {region.name!r}"
             )
         region.write(offset, data)
+
+    def read_into(self, addr: int, buf) -> None:
+        """Copy ``len(buf)`` bytes at *addr* into caller-owned *buf*."""
+        length = len(buf)
+        region, offset = self.resolve(addr)
+        if offset + length > region.size:
+            raise MemoryAccessError(
+                f"read [{addr:#x},{addr + length:#x}) straddles mapping of {region.name!r}"
+            )
+        region.read_into(offset, buf)
+
+    def view(self, addr: int, length: int) -> memoryview:
+        """Read-only view of *length* bytes at *addr* (zero-copy for
+        RAM-like regions)."""
+        region, offset = self.resolve(addr)
+        if offset + length > region.size:
+            raise MemoryAccessError(
+                f"view [{addr:#x},{addr + length:#x}) straddles mapping of {region.name!r}"
+            )
+        return region.view(offset, length)
 
     @property
     def mappings(self) -> List[Tuple[int, MemoryRegion]]:

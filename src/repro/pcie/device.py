@@ -79,6 +79,7 @@ class PcieEndpoint(Component):
         link.attach_endpoint_rx(self._receive)
         self._stat_dma_read_tlps = 0
         self._stat_dma_write_tlps = 0
+        self._dma_read_event_name = f"{self.path}.dma_read"
         self._stat_msix_raised = 0
 
     # -- construction -----------------------------------------------------------
@@ -125,7 +126,7 @@ class PcieEndpoint(Component):
         self.trace("cfg-read", offset=tlp.addr)
         self.sim.schedule(
             self.completer_latency,
-            self.link.send_upstream,
+            self.link.post_upstream,
             completion_with_data(tlp, data),
         )
 
@@ -138,7 +139,7 @@ class PcieEndpoint(Component):
                 self.msix.sync_from_config()
         # Non-posted: completion without data.
         done = Tlp(kind=TlpKind.COMPLETION, requester=tlp.requester, tag=tlp.tag)
-        self.sim.schedule(self.completer_latency, self.link.send_upstream, done)
+        self.sim.schedule(self.completer_latency, self.link.post_upstream, done)
 
     def _locate_bar(self, addr: int, length: int) -> Optional[tuple[MemoryRegion, int]]:
         for index, region in self._bar_regions.items():
@@ -149,23 +150,23 @@ class PcieEndpoint(Component):
 
     def _handle_mem_read(self, tlp: Tlp) -> None:
         if not self.config.memory_enabled:
-            self.link.send_upstream(completion_error(tlp, CompletionStatus.UNSUPPORTED_REQUEST))
+            self.link.post_upstream(completion_error(tlp, CompletionStatus.UNSUPPORTED_REQUEST))
             return
         located = self._locate_bar(tlp.addr, tlp.length)
         if located is None:
             self.trace("mem-read-ur", addr=tlp.addr)
-            self.link.send_upstream(completion_error(tlp, CompletionStatus.UNSUPPORTED_REQUEST))
+            self.link.post_upstream(completion_error(tlp, CompletionStatus.UNSUPPORTED_REQUEST))
             return
         region, offset = located
         try:
             data = region.read(offset, tlp.length)
         except MemoryAccessError:
-            self.link.send_upstream(completion_error(tlp, CompletionStatus.COMPLETER_ABORT))
+            self.link.post_upstream(completion_error(tlp, CompletionStatus.COMPLETER_ABORT))
             return
         self.trace("mem-read", addr=tlp.addr, length=tlp.length)
         delay = self.completer_latency
         for cpl in split_completion(tlp, data, rcb=self.link.config.read_completion_boundary):
-            self.sim.schedule(delay, self.link.send_upstream, cpl)
+            self.sim.schedule(delay, self.link.post_upstream, cpl)
 
     def _handle_mem_write(self, tlp: Tlp) -> None:
         if not self.config.memory_enabled:
@@ -195,25 +196,23 @@ class PcieEndpoint(Component):
             raise RuntimeError(f"{self.name!r}: DMA write with bus mastering disabled")
         tlps = segment_write(addr, data, self.link.config.max_payload, requester=self.path)
         self._stat_dma_write_tlps += len(tlps)
-        last_delivery: Optional[Event] = None
-        for tlp in tlps:
-            last_delivery = self.link.send_upstream(tlp)
-        assert last_delivery is not None
-        return last_delivery
+        # Write-combined burst: one delivery event for the whole transfer
+        # (fires at the last TLP, which is all callers ever waited on).
+        return self.link.upstream.send_many(tlps)
 
     def dma_read(self, addr: int, length: int) -> Event:
         """Read *length* bytes from host memory; event fires with the
         reassembled bytes when all completions have arrived."""
         if not self.config.bus_master_enabled:
             raise RuntimeError(f"{self.name!r}: DMA read with bus mastering disabled")
-        done = Event(name=f"{self.path}.dma_read")
+        done = Event(name=self._dma_read_event_name)
         requests = segment_read(addr, length, self.link.config.max_read_request,
                                 requester=self.path)
         self._stat_dma_read_tlps += len(requests)
         state = _PendingRead(expected=length, event=done, base_addr=addr)
         for req in requests:
             self._pending_reads[req.tag] = state
-            self.link.send_upstream(req)
+            self.link.post_upstream(req)
         return done
 
     def _handle_completion(self, tlp: Tlp) -> None:
@@ -231,7 +230,14 @@ class PcieEndpoint(Component):
             # Final split of this request.
             del self._pending_reads[tlp.tag]
         if state.received >= state.expected:
-            state.event.trigger(b"".join(state.chunks))
+            # Chunks may be views of the completer's immutable read
+            # snapshot; a single-chunk read (descriptor fetches, small
+            # payloads) passes straight through, multi-chunk reassembly
+            # joins into fresh bytes.
+            if len(state.chunks) == 1:
+                state.event.trigger(state.chunks[0])
+            else:
+                state.event.trigger(b"".join(state.chunks))
 
     # -- interrupts ---------------------------------------------------------------
 
@@ -249,7 +255,7 @@ class PcieEndpoint(Component):
             message.address, message.data.to_bytes(4, "little"), requester=self.path
         )
         tlp.detail["msix_vector"] = vector
-        self.link.send_upstream(tlp)
+        self.link.post_upstream(tlp)
 
     # -- statistics ------------------------------------------------------------------
 

@@ -129,10 +129,17 @@ class LinkDirection(Component):
         super().__init__(sim, name, parent=parent)
         self.config = config
         self.deliver = deliver
-        self._queue: Deque[tuple[Tlp, Event]] = deque()
+        self._queue: Deque[tuple[Tlp, Optional[Event]]] = deque()
         self._busy = False
         self._tlps_sent = 0
         self._bytes_sent = 0
+        # Hot-path caches: the config is frozen, so serialization times
+        # are a pure function of wire size (tiny key space: a handful of
+        # TLP shapes per run), and the delivery-event name and
+        # propagation delay never change.
+        self._ser_cache: dict[int, SimTime] = {}
+        self._prop_time = config.propagation_time
+        self._delivered_name = f"{self.path}.delivered"
         #: Fault injector (attached by repro.faults; None in normal runs).
         self.injector = None
         #: Injection-site name: "pcie.down" / "pcie.up".
@@ -145,37 +152,82 @@ class LinkDirection(Component):
         """Enqueue a TLP for transmission.  Returns the delivery event
         (fires when the TLP reaches the receiver); posted-write callers
         that do not care may ignore it."""
-        delivered = Event(name=f"{self.path}.delivered")
+        delivered = Event(name=self._delivered_name)
         self._queue.append((tlp, delivered))
         if not self._busy:
             self._busy = True
             self._transmit_next()
         return delivered
 
+    def post(self, tlp: Tlp) -> None:
+        """Fire-and-forget enqueue: identical transmission timing to
+        :meth:`send`, but no delivery event is allocated.  For TLPs
+        whose delivery nothing ever waits on (completions, MSI writes,
+        posted MMIO, read requests tracked by tag)."""
+        self._queue.append((tlp, None))
+        if not self._busy:
+            self._busy = True
+            self._transmit_next()
+
+    def send_many(self, tlps) -> Event:
+        """Write-combined enqueue of a TLP burst.
+
+        Per-TLP timing is identical to looping :meth:`send`; the saving
+        is bookkeeping: only the burst's last TLP carries a delivery
+        event (the returned one, firing when the final TLP reaches the
+        receiver -- the only event multi-TLP transfers ever waited on).
+        """
+        if not tlps:
+            raise ValueError("send_many needs at least one TLP")
+        delivered = Event(name=self._delivered_name)
+        queue = self._queue
+        last = len(tlps) - 1
+        for i, tlp in enumerate(tlps):
+            queue.append((tlp, delivered if i == last else None))
+        if not self._busy:
+            self._busy = True
+            self._transmit_next()
+        return delivered
+
+    def _ser_time(self, wire_bytes: int) -> SimTime:
+        time = self._ser_cache.get(wire_bytes)
+        if time is None:
+            time = self.config.serialization_time(wire_bytes)
+            self._ser_cache[wire_bytes] = time
+        return time
+
     def _transmit_next(self) -> None:
         tlp, delivered = self._queue.popleft()
-        tx_time = self.config.serialization_time(tlp.wire_bytes)
-        self.trace("tlp-tx", tlp=tlp.kind.value, addr=tlp.addr, bytes=tlp.wire_bytes)
+        # Inline the serialization-time cache: this runs once per TLP.
+        wire = tlp.wire_bytes
+        tx_time = self._ser_cache.get(wire)
+        if tx_time is None:
+            tx_time = self.config.serialization_time(wire)
+            self._ser_cache[wire] = tx_time
+        if self.tracer.enabled:
+            self.trace("tlp-tx", tlp=tlp.kind.value, addr=tlp.addr, bytes=tlp.wire_bytes)
         self._tlps_sent += 1
         self._bytes_sent += tlp.wire_bytes
         self.sim.schedule(tx_time, self._tx_done, tlp, delivered)
 
-    def _tx_done(self, tlp: Tlp, delivered: Event) -> None:
+    def _tx_done(self, tlp: Tlp, delivered: Optional[Event]) -> None:
         # Last byte left the transmitter; arrival after propagation.
-        self.sim.schedule(self.config.propagation_time, self._arrive, tlp, delivered)
+        self.sim.schedule(self._prop_time, self._arrive, tlp, delivered)
         if self._queue:
             self._transmit_next()
         else:
             self._busy = False
 
-    def _arrive(self, tlp: Tlp, delivered: Event) -> None:
+    def _arrive(self, tlp: Tlp, delivered: Optional[Event]) -> None:
         if self.injector is not None and self._inject_on_arrival(tlp, delivered):
             return
-        self.trace("tlp-rx", tlp=tlp.kind.value, addr=tlp.addr)
+        if self.tracer.enabled:
+            self.trace("tlp-rx", tlp=tlp.kind.value, addr=tlp.addr)
         self.deliver(tlp)
-        delivered.trigger(None)
+        if delivered is not None:
+            delivered.trigger(None)
 
-    def _inject_on_arrival(self, tlp: Tlp, delivered: Event) -> bool:
+    def _inject_on_arrival(self, tlp: Tlp, delivered: Optional[Event]) -> bool:
         """Apply link-level faults to an arriving TLP.  Returns True when
         the normal delivery path must be skipped."""
         injector = self.injector
@@ -185,27 +237,39 @@ class LinkDirection(Component):
             # event still fires -- nothing upstream may block on a drop.
             self.tlps_dropped += 1
             self.trace("tlp-dropped", tlp=tlp.kind.value, addr=tlp.addr)
-            delivered.trigger(None)
+            if delivered is not None:
+                delivered.trigger(None)
             return True
-        if tlp.is_posted and tlp.data:
+        if tlp.is_posted and len(tlp.data):
             if injector.fire(self.fault_site, KIND_TLP_CORRUPT) is not None:
                 self.tlps_corrupted += 1
                 self.trace("tlp-corrupted", addr=tlp.addr, bytes=len(tlp.data))
-                tlp.data = tlp.data[:-1] + bytes([tlp.data[-1] ^ 0xFF])
+                # Copy-on-write: the payload may be a view of a pooled or
+                # live buffer the fault must not scribble on.  Take a
+                # private writable copy once, then flip the byte in place.
+                buf = bytearray(tlp.data)
+                buf[-1] ^= 0xFF
+                tlp.data = buf
         spec = injector.fire(self.fault_site, KIND_TLP_DELAY)
         if spec is not None:
             self.tlps_delayed += 1
             self.trace("tlp-delayed", tlp=tlp.kind.value, addr=tlp.addr)
+            if not isinstance(tlp.data, bytes):
+                # The delayed delivery may outlive the buffer the payload
+                # views (pooled staging is recycled once the sender's
+                # delivery event fires) -- snapshot before rescheduling.
+                tlp.data = bytes(tlp.data)
             self.sim.schedule(
                 injector.delay_ps(spec, default_ns=500.0), self._deliver_late, tlp, delivered
             )
             return True
         return False
 
-    def _deliver_late(self, tlp: Tlp, delivered: Event) -> None:
+    def _deliver_late(self, tlp: Tlp, delivered: Optional[Event]) -> None:
         self.trace("tlp-rx", tlp=tlp.kind.value, addr=tlp.addr)
         self.deliver(tlp)
-        delivered.trigger(None)
+        if delivered is not None:
+            delivered.trigger(None)
 
     @property
     def tlps_sent(self) -> int:
@@ -259,6 +323,18 @@ class PcieLink(Component):
         if self._upstream is None:
             raise RuntimeError(f"link {self.name!r}: root rx not attached")
         return self._upstream.send(tlp)
+
+    def post_downstream(self, tlp: Tlp) -> None:
+        """Fire-and-forget :meth:`send_downstream` (no delivery event)."""
+        if self._downstream is None:
+            raise RuntimeError(f"link {self.name!r}: endpoint rx not attached")
+        self._downstream.post(tlp)
+
+    def post_upstream(self, tlp: Tlp) -> None:
+        """Fire-and-forget :meth:`send_upstream` (no delivery event)."""
+        if self._upstream is None:
+            raise RuntimeError(f"link {self.name!r}: root rx not attached")
+        self._upstream.post(tlp)
 
     @property
     def endpoint_attached(self) -> bool:

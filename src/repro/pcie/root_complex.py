@@ -84,13 +84,15 @@ class RootPort(Component):
                 self.rc.deliver_msi(tlp.addr, int.from_bytes(tlp.data, "little"))
             else:
                 self.rc.host_memory.write(tlp.addr, tlp.data)
-                self.trace("dma-write", addr=tlp.addr, length=tlp.length)
+                if self.tracer.enabled:
+                    self.trace("dma-write", addr=tlp.addr, length=tlp.length)
         elif tlp.kind == TlpKind.MEM_READ:
-            self.trace("dma-read", addr=tlp.addr, length=tlp.length)
+            if self.tracer.enabled:
+                self.trace("dma-read", addr=tlp.addr, length=tlp.length)
             data = self.rc.host_memory.read(tlp.addr, tlp.length)
             delay = self.rc.memory_read_latency
             for cpl in split_completion(tlp, data, rcb=self.link.config.read_completion_boundary):
-                self.sim.schedule(delay, self.link.send_downstream, cpl)
+                self.sim.schedule(delay, self.link.post_downstream, cpl)
         elif tlp.kind in (TlpKind.COMPLETION, TlpKind.COMPLETION_DATA):
             self._handle_completion(tlp)
         else:
@@ -118,7 +120,10 @@ class RootPort(Component):
         if tlp.byte_count == len(tlp.data):
             del self._pending[tlp.tag]
         if state.received >= state.expected:
-            state.event.trigger(b"".join(state.chunks))
+            if len(state.chunks) == 1:
+                state.event.trigger(state.chunks[0])
+            else:
+                state.event.trigger(b"".join(state.chunks))
 
     # -- downstream (host-initiated) ----------------------------------------------
 
@@ -128,12 +133,12 @@ class RootPort(Component):
         event = Event(name=f"{self.path}.mmio_read")
         state = _HostPendingRead(expected=length, event=event)
         self._pending[req.tag] = state
-        self.link.send_downstream(req)
+        self.link.post_downstream(req)
         return event
 
     def mmio_write(self, addr: int, data: bytes) -> None:
         """Posted write toward the endpoint (returns immediately)."""
-        self.link.send_downstream(memory_write(addr, data, requester="host"))
+        self.link.post_downstream(memory_write(addr, data, requester="host"))
 
     def cfg_read(self, offset: int, length: int = 4) -> Event:
         """Config read (always a 4-byte wire transaction; sub-dword
@@ -160,7 +165,7 @@ class RootPort(Component):
             result.trigger(dword[shift : shift + length])
 
         event.on_trigger(_extract)
-        self.link.send_downstream(req)
+        self.link.post_downstream(req)
         return result
 
     def cfg_write(self, offset: int, data: bytes) -> Event:
@@ -172,7 +177,7 @@ class RootPort(Component):
             req = config_write(aligned, data, requester="host")
             event = Event(name=f"{self.path}.cfg_write")
             self._pending_nonposted[req.tag] = event
-            self.link.send_downstream(req)
+            self.link.post_downstream(req)
             return event
         # Read-modify-write for sub-dword config writes.
         result = Event(name=f"{self.path}.cfg_write")
@@ -183,7 +188,7 @@ class RootPort(Component):
             dword[shift : shift + len(data)] = data
             req = config_write(aligned, bytes(dword), requester="host")
             self._pending_nonposted[req.tag] = result
-            self.link.send_downstream(req)
+            self.link.post_downstream(req)
 
         self.cfg_read(aligned, 4).on_trigger(_merge)
         return result

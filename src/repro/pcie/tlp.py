@@ -100,6 +100,9 @@ class Tlp:
     kind: TlpKind
     addr: int = 0
     length: int = 0
+    #: Payload for MWr / CplD / CfgWr0.  ``bytes`` or any read-only
+    #: buffer (``memoryview``): the zero-copy data plane threads views of
+    #: pooled/staged buffers here instead of materializing a copy per hop.
     data: bytes = b""
     requester: str = ""
     tag: int = 0
@@ -107,20 +110,37 @@ class Tlp:
     byte_count: int = 0
     lower_address: int = 0
     detail: dict = field(default_factory=dict)
+    #: Cached link footprint, fixed at construction (payload length never
+    #: changes after that -- fault corruption flips bits, not sizes).
+    wire_bytes: int = field(init=False, default=0)
 
     def __post_init__(self) -> None:
-        if self.kind in (TlpKind.MEM_WRITE, TlpKind.COMPLETION_DATA, TlpKind.CONFIG_WRITE):
-            if len(self.data) != self.length:
+        # Runs once per TLP -- millions per full-fidelity run -- so the
+        # checks use identity comparisons against the enum members and
+        # the header size is computed inline rather than through the
+        # ``header_bytes`` property.
+        kind = self.kind
+        data_len = len(self.data)
+        if kind is TlpKind.MEM_WRITE or kind is TlpKind.COMPLETION_DATA or kind is TlpKind.CONFIG_WRITE:
+            if data_len != self.length:
                 raise ValueError(
-                    f"{self.kind.value}: data length {len(self.data)} != length {self.length}"
+                    f"{kind.value}: data length {data_len} != length {self.length}"
                 )
-        elif self.kind in (TlpKind.MEM_READ, TlpKind.CONFIG_READ):
-            if self.data:
-                raise ValueError(f"{self.kind.value} TLP must not carry data")
+        elif kind is TlpKind.MEM_READ or kind is TlpKind.CONFIG_READ:
+            if data_len:
+                raise ValueError(f"{kind.value} TLP must not carry data")
             if self.length <= 0:
-                raise ValueError(f"{self.kind.value} TLP must request at least 1 byte")
+                raise ValueError(f"{kind.value} TLP must request at least 1 byte")
         if self.addr < 0:
             raise ValueError(f"negative address {self.addr:#x}")
+        if (
+            (kind is TlpKind.MEM_READ or kind is TlpKind.MEM_WRITE)
+            and self.addr + max(self.length, 1) > ADDR_32BIT_LIMIT
+        ):
+            header = HEADER_4DW_BYTES
+        else:
+            header = HEADER_3DW_BYTES
+        self.wire_bytes = DLL_OVERHEAD_BYTES + header + data_len
 
     @property
     def is_posted(self) -> bool:
@@ -140,11 +160,6 @@ class Tlp:
     @property
     def payload_bytes(self) -> int:
         return len(self.data)
-
-    @property
-    def wire_bytes(self) -> int:
-        """Total bytes the TLP occupies on the link."""
-        return DLL_OVERHEAD_BYTES + self.header_bytes + self.payload_bytes
 
     def __repr__(self) -> str:
         core = f"{self.kind.value} addr={self.addr:#x} len={self.length}"
@@ -168,9 +183,13 @@ def memory_read(addr: int, length: int, requester: str = "", tag: Optional[int] 
 
 
 def memory_write(addr: int, data: bytes, requester: str = "") -> Tlp:
-    """A posted MWr request."""
+    """A posted MWr request.
+
+    Zero-copy: the payload buffer is carried by reference.  Callers that
+    may mutate the source after issuing the write must pass a snapshot.
+    """
     return Tlp(
-        kind=TlpKind.MEM_WRITE, addr=addr, length=len(data), data=bytes(data), requester=requester
+        kind=TlpKind.MEM_WRITE, addr=addr, length=len(data), data=data, requester=requester
     )
 
 
@@ -180,12 +199,16 @@ def completion_with_data(
     byte_count: Optional[int] = None,
     lower_address: int = 0,
 ) -> Tlp:
-    """A CplD answering *request* (possibly one split of several)."""
+    """A CplD answering *request* (possibly one split of several).
+
+    Zero-copy: the payload buffer is carried by reference (completers
+    pass views of an immutable read snapshot).
+    """
     return Tlp(
         kind=TlpKind.COMPLETION_DATA,
         addr=0,
         length=len(data),
-        data=bytes(data),
+        data=data,
         requester=request.requester,
         tag=request.tag,
         byte_count=len(data) if byte_count is None else byte_count,
@@ -258,9 +281,14 @@ def segment_write(
     page-boundary rules."""
     if max_payload <= 0:
         raise ValueError(f"max_payload must be positive, got {max_payload}")
+    plan = segmentation_plan(addr % 4096, len(data), max_payload)
+    if len(plan) == 1:
+        # Single-TLP fast path: no slicing at all.
+        return [memory_write(addr, data, requester=requester)]
+    src = memoryview(data) if isinstance(data, (bytes, bytearray)) else data
     return [
-        memory_write(addr + pos, data[pos : pos + chunk], requester=requester)
-        for pos, chunk in segmentation_plan(addr % 4096, len(data), max_payload)
+        memory_write(addr + pos, src[pos : pos + chunk], requester=requester)
+        for pos, chunk in plan
     ]
 
 
@@ -294,12 +322,18 @@ def split_completion(
         raise ValueError(f"completion data {total}B != requested {request.length}B")
     pos = 0
     addr = request.addr
+    if 0 < total <= rcb - (addr % rcb):
+        # Single-completion fast path (the common case at RCB=64 only for
+        # small reads, but it skips the view machinery entirely).
+        yield completion_with_data(request, data, byte_count=total, lower_address=addr & 0x7F)
+        return
+    src = memoryview(data) if isinstance(data, (bytes, bytearray)) else data
     while pos < total:
         boundary = rcb - (addr % rcb)
         chunk = min(total - pos, boundary)
         yield completion_with_data(
             request,
-            data[pos : pos + chunk],
+            src[pos : pos + chunk],
             byte_count=total - pos,
             lower_address=addr & 0x7F,
         )

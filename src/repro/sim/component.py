@@ -47,6 +47,10 @@ class Component:
         self.sim = sim
         self.name = name
         self.parent = parent
+        # Components are built top-down and never reparented, so the
+        # dotted path is fixed at construction -- cache it (the recursive
+        # property walk showed up at ~10% of hot-loop profiles).
+        self.path = name if parent is None else f"{parent.path}.{name}"
         self.children: List[Component] = []
         if tracer is not None:
             self.tracer = tracer
@@ -57,16 +61,11 @@ class Component:
         if parent is not None:
             parent.children.append(self)
 
-    @property
-    def path(self) -> str:
-        """Dotted hierarchical name, e.g. ``fpga.xdma.h2c0``."""
-        if self.parent is None:
-            return self.name
-        return f"{self.parent.path}.{self.name}"
-
     def trace(self, kind: str, **detail: Any) -> None:
         """Emit a trace record attributed to this component."""
-        self.tracer.emit(self.sim.now, self.path, kind, **detail)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(self.sim.now, self.path, kind, **detail)
 
     def rng(self, stream: str = "") -> np.random.Generator:
         """Random stream scoped to this component (plus optional suffix)."""

@@ -33,6 +33,10 @@ from repro.sim.time import SimTime
 #: per-event ``is not None`` check on the hot path.
 _NO_LIMIT = float("inf")
 
+#: Module-level binding: ``schedule`` runs once per future event and the
+#: ``heapq.heappush`` attribute lookup is measurable at that call rate.
+_heappush = heapq.heappush
+
 
 class SimulationError(RuntimeError):
     """Raised for kernel-level protocol violations."""
@@ -79,7 +83,7 @@ class Simulator:
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
         self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, self._seq, callback, args))
+        _heappush(self._queue, (self._now + delay, self._seq, callback, args))
 
     def schedule_at(self, when: SimTime, callback: Callable[..., None], *args: Any) -> None:
         """Run ``callback(*args)`` at absolute time *when*."""

@@ -74,7 +74,11 @@ class Process(Event):
         self._step(None)
 
     def _step(self, send_value: Any) -> None:
-        """Advance the body by one yield and arm the next wait target."""
+        """Advance the body by one yield and arm the next wait target.
+
+        The arming logic is inlined (not a helper) because ``_step``
+        runs once per yield of every process in the simulation.
+        """
         try:
             target = self.body.send(send_value)
         except StopIteration as stop:
@@ -83,17 +87,13 @@ class Process(Event):
         except Exception as exc:
             self.sim._process_failed(ProcessError(self.name, exc))
             return
-        self._arm(target)
-
-    def _arm(self, target: Any) -> None:
-        """Schedule resumption according to the yield protocol."""
         if isinstance(target, int):
-            if target < 0:
-                self.sim._process_failed(
-                    ProcessError(self.name, ValueError(f"negative delay {target}"))
-                )
+            if target >= 0:
+                self.sim.schedule(target, self._step, None)
                 return
-            self.sim.schedule(target, self._step, None)
+            self.sim._process_failed(
+                ProcessError(self.name, ValueError(f"negative delay {target}"))
+            )
         elif isinstance(target, Event):
             target.on_trigger(self._resume_from_event)
         else:

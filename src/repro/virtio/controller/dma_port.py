@@ -60,6 +60,7 @@ class ControllerDmaPort(Component):
             )
         self._read_slot = 0
         self._write_slot = 0
+        self._host_read_event_name = f"{self.path}.host_read"
         self.reads_issued = 0
         self.writes_issued = 0
         self.bytes_read = 0
@@ -84,7 +85,7 @@ class ControllerDmaPort(Component):
         desc = XdmaDescriptor(src_addr=addr, dst_addr=slot, length=length)
         self.reads_issued += 1
         self.bytes_read += length
-        result = Event(name=f"{self.path}.host_read")
+        result = Event(name=self._host_read_event_name)
         done = self.xdma.h2c[0].submit_bypass(desc)
 
         def _collect(_ev: Event) -> None:

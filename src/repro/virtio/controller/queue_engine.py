@@ -35,7 +35,6 @@ from collections import deque
 from typing import TYPE_CHECKING, Any, Deque, Generator, List, Optional, Tuple
 
 from repro.faults.plan import KIND_MALFORMED_CHAIN, KIND_USED_DELAY, SITE_VIRTIO_CTRL
-from repro.mem.layout import read_u16
 from repro.virtio.constants import VIRTIO_MSI_NO_VECTOR
 from repro.virtio.controller.config_structs import QueueState
 from repro.virtio.virtqueue import (
@@ -96,6 +95,7 @@ class DeviceQueueEngine(Component):
         parent: Optional[Component] = None,
     ) -> None:
         super().__init__(sim, f"vq{queue.index}-engine", parent=parent)
+        self._chain_wait_name = f"{self.path}.chain-wait"
         if not queue.enabled:
             raise VirtqueueError(f"queue {queue.index} not enabled")
         self.device = device
@@ -147,8 +147,8 @@ class DeviceQueueEngine(Component):
     def _read_avail(self) -> Generator[Any, Any, int]:
         """Fetch avail flags+idx in one access; caches flags."""
         raw = yield self.device.dma_port.host_read(self.addresses.avail_flags_addr, 4)
-        self._avail_flags = read_u16(raw, 0)
-        return read_u16(raw, 2)
+        self._avail_flags = int.from_bytes(raw[0:2], "little")
+        return int.from_bytes(raw[2:4], "little")
 
     def _fetch_chain(self, head: int) -> Generator[Any, Any, FetchedChain]:
         """Walk and fetch the descriptor chain starting at *head*.
@@ -243,6 +243,12 @@ class DeviceQueueEngine(Component):
 
     def _fetch_out_data(self, chain: FetchedChain) -> Generator[Any, Any, None]:
         """DMA the chain's readable payload on-chip."""
+        if len(chain.out_segments) == 1:
+            # Single-segment chains (every virtio-net TX frame) keep the
+            # staging snapshot as-is -- no gather copy.
+            addr, length = chain.out_segments[0]
+            chain.out_data = yield self.device.dma_port.host_read(addr, length)
+            return
         parts: List[bytes] = []
         for addr, length in chain.out_segments:
             data = yield self.device.dma_port.host_read(addr, length)
@@ -266,7 +272,7 @@ class DeviceQueueEngine(Component):
                         raw = yield self.device.dma_port.host_read(
                             self.addresses.avail_entry_addr(self.last_avail_idx), 2
                         )
-                        head = read_u16(raw, 0)
+                        head = int.from_bytes(raw, "little")
                         chain = yield from self._fetch_chain(head)
                         self.last_avail_idx = (self.last_avail_idx + 1) & 0xFFFF
                         yield from self._dispatch(chain)
@@ -318,7 +324,7 @@ class DeviceQueueEngine(Component):
         if not self.prefetch:
             yield from self._fetch_one_on_demand()
         while not self._free_chains:
-            waiter = Event(name=f"{self.path}.chain-wait")
+            waiter = Event(name=self._chain_wait_name)
             self._chain_waiters.append(waiter)
             yield waiter
         chain = self._free_chains.popleft()
@@ -339,27 +345,36 @@ class DeviceQueueEngine(Component):
         raw = yield self.device.dma_port.host_read(
             self.addresses.avail_entry_addr(self.last_avail_idx), 2
         )
-        head = read_u16(raw, 0)
+        head = int.from_bytes(raw, "little")
         chain = yield from self._fetch_chain(head)
         self.last_avail_idx = (self.last_avail_idx + 1) & 0xFFFF
         self._free_chains.append(chain)
 
     def _write_in_segments(self, chain: FetchedChain, payload: bytes) -> Generator[Any, Any, int]:
         """Scatter *payload* across the chain's writable segments."""
-        remaining = payload
-        written = 0
+        total = len(payload)
+        if total and chain.in_segments and total <= chain.in_segments[0][1]:
+            # Whole payload fits the first writable segment (every
+            # virtio-net RX delivery): no scatter slicing.
+            yield self._fsm()
+            yield self.device.dma_port.host_write(chain.in_segments[0][0], payload)
+            return total
+        # View-based scatter: slices reference the payload, the DMA port
+        # copies them into its staging BRAM immediately.
+        src = memoryview(payload)
+        pos = 0
         for addr, length in chain.in_segments:
-            if not remaining:
+            if pos >= total:
                 break
-            part, remaining = remaining[:length], remaining[length:]
+            part = src[pos : pos + length]
             yield self._fsm()
             yield self.device.dma_port.host_write(addr, part)
-            written += len(part)
-        if remaining:
+            pos += len(part)
+        if pos < total:
             raise VirtqueueError(
-                f"queue {self.queue.index}: {len(remaining)}B did not fit the chain"
+                f"queue {self.queue.index}: {total - pos}B did not fit the chain"
             )
-        return written
+        return pos
 
     # -- completion ---------------------------------------------------------------------------------------
 
@@ -373,11 +388,9 @@ class DeviceQueueEngine(Component):
                 delay = injector.delay_ps(spec, default_ns=10_000.0)
                 self.trace("used-write-delayed", head=chain.head, delay_ps=delay)
                 yield delay
-        elem = bytearray(8)
-        elem[0:4] = chain.head.to_bytes(4, "little")
-        elem[4:8] = written.to_bytes(4, "little")
+        elem = chain.head.to_bytes(4, "little") + written.to_bytes(4, "little")
         yield self.device.dma_port.host_write(
-            self.addresses.used_entry_addr(self.used_idx), bytes(elem)
+            self.addresses.used_entry_addr(self.used_idx), elem
         )
         self.used_idx = (self.used_idx + 1) & 0xFFFF
         yield self.device.dma_port.host_write(
@@ -389,7 +402,7 @@ class DeviceQueueEngine(Component):
         # poll -- the device would wrongly suppress and the driver,
         # having already re-checked the ring, would sleep forever.
         raw = yield self.device.dma_port.host_read(self.addresses.avail_flags_addr, 2)
-        self._avail_flags = read_u16(raw, 0)
+        self._avail_flags = int.from_bytes(raw, "little")
         if self._avail_flags & VIRTQ_AVAIL_F_NO_INTERRUPT:
             self.interrupts_suppressed += 1
             self.trace("irq-suppressed", head=chain.head)

@@ -91,10 +91,13 @@ class VirtqDescriptor:
         if len(data) != DESCRIPTOR_SIZE:
             raise VirtqueueError(f"descriptor must be {DESCRIPTOR_SIZE}B, got {len(data)}")
         return cls(
-            addr=read_u64(data, 0),
-            length=read_u32(data, 8),
-            flags=read_u16(data, 12),
-            next_index=read_u16(data, 14),
+            # Inline int.from_bytes: this decode runs once per descriptor
+            # walked and the layout helpers' bounds checks are redundant
+            # over a 16-byte view.
+            addr=int.from_bytes(data[0:8], "little"),
+            length=int.from_bytes(data[8:12], "little"),
+            flags=int.from_bytes(data[12:14], "little"),
+            next_index=int.from_bytes(data[14:16], "little"),
         )
 
     @property
@@ -242,7 +245,8 @@ class DriverVirtqueue:
         self.buffer.write(desc.encode(), self._desc_off + DESCRIPTOR_SIZE * index)
 
     def read_descriptor(self, index: int) -> VirtqDescriptor:
-        raw = self.buffer.read(self._desc_off + DESCRIPTOR_SIZE * index, DESCRIPTOR_SIZE)
+        # View, not copy: the decoder consumes the bytes immediately.
+        raw = self.buffer.view(self._desc_off + DESCRIPTOR_SIZE * index, DESCRIPTOR_SIZE)
         return VirtqDescriptor.decode(raw)
 
     def add_buffer(
@@ -284,9 +288,7 @@ class DriverVirtqueue:
         # Avail-ring entry at the driver's shadow index.
         slot = self._avail_idx % self.size
         entry_off = self._avail_off + AVAIL_HEADER_SIZE + AVAIL_ENTRY_SIZE * slot
-        entry = bytearray(2)
-        write_u16(entry, 0, head)
-        self.buffer.write(bytes(entry), entry_off)
+        self.buffer.write(head.to_bytes(2, "little"), entry_off)
         self._avail_idx = (self._avail_idx + 1) & 0xFFFF
         self._chain_lengths[head] = total
         self.in_flight += 1
@@ -340,9 +342,7 @@ class DriverVirtqueue:
         )
         slot = self._avail_idx % self.size
         entry_off = self._avail_off + AVAIL_HEADER_SIZE + AVAIL_ENTRY_SIZE * slot
-        entry = bytearray(2)
-        write_u16(entry, 0, head)
-        self.buffer.write(bytes(entry), entry_off)
+        self.buffer.write(head.to_bytes(2, "little"), entry_off)
         self._avail_idx = (self._avail_idx + 1) & 0xFFFF
         self._chain_lengths[head] = 1  # one ring descriptor to free
         self.in_flight += 1
@@ -351,16 +351,14 @@ class DriverVirtqueue:
     def publish(self) -> int:
         """Write the shadow avail index to the ring (memory barrier +
         ``vring_avail->idx`` store); returns the published value."""
-        idx_bytes = bytearray(2)
-        write_u16(idx_bytes, 0, self._avail_idx)
-        self.buffer.write(bytes(idx_bytes), self._avail_off + 2)
+        self.buffer.write(self._avail_idx.to_bytes(2, "little"), self._avail_off + 2)
         return self._avail_idx
 
     # -- used-ring consumption ---------------------------------------------------------
 
     def device_used_idx(self) -> int:
         """Read the device-published used index from the ring."""
-        return read_u16(self.buffer.read(self._used_off + 2, 2), 0)
+        return int.from_bytes(self.buffer.view(self._used_off + 2, 2), "little")
 
     def has_used(self) -> bool:
         return self.device_used_idx() != self._last_used_idx
@@ -370,9 +368,9 @@ class DriverVirtqueue:
         if not self.has_used():
             return None
         slot = self._last_used_idx % self.size
-        raw = self.buffer.read(self._used_off + USED_HEADER_SIZE + USED_ENTRY_SIZE * slot, 8)
-        head = read_u32(raw, 0)
-        written = read_u32(raw, 4)
+        raw = self.buffer.view(self._used_off + USED_HEADER_SIZE + USED_ENTRY_SIZE * slot, 8)
+        head = int.from_bytes(raw[0:4], "little")
+        written = int.from_bytes(raw[4:8], "little")
         self._last_used_idx = (self._last_used_idx + 1) & 0xFFFF
         chain = self._chain_lengths.pop(head, None)
         if chain is None:
@@ -411,9 +409,8 @@ class DriverVirtqueue:
 
     def set_avail_no_interrupt(self, suppress: bool) -> None:
         """Set/clear VIRTQ_AVAIL_F_NO_INTERRUPT (NAPI polling mode)."""
-        flags = bytearray(2)
-        write_u16(flags, 0, VIRTQ_AVAIL_F_NO_INTERRUPT if suppress else 0)
-        self.buffer.write(bytes(flags), self._avail_off)
+        value = VIRTQ_AVAIL_F_NO_INTERRUPT if suppress else 0
+        self.buffer.write(value.to_bytes(2, "little"), self._avail_off)
 
     def __repr__(self) -> str:
         return (

@@ -142,8 +142,10 @@ class TestParallelCli:
         files = list(tmp_path.glob("BENCH_*.json"))
         assert len(files) == 1
         record = json.loads(files[0].read_text())
-        assert record["schema"] == "bench-v1"
+        assert record["schema"] == "bench-v2"
         assert record["parallel_matches_serial"] is True
+        assert record["micro"]["copy_counts"]["virtio"]["read"] > 0
+        assert record["micro"]["cpu_score"] > 0
         assert record["speedup"] > 0
         assert record["serial"]["events"] == record["parallel"]["events"]
         assert "speedup" in capsys.readouterr().out
@@ -158,3 +160,36 @@ class TestParallelCli:
     def test_bench_requires_two_jobs(self):
         with pytest.raises(SystemExit):
             main(["bench", "--packets", "10", "--payloads", "64", "--jobs", "1"])
+
+    def test_bench_check_passes_against_slow_baseline(self, tmp_path, monkeypatch, capsys):
+        # A v1-style baseline with a tiny events/s: any real run clears
+        # the floor, so this exercises the full --check path deterministically.
+        baseline = tmp_path / "BENCH_baseline.json"
+        baseline.write_text(json.dumps({
+            "schema": "bench-v1",
+            "rev": "slow",
+            "workload": {"packets": 20, "payload_sizes": [64], "seed": 0},
+            "serial": {"events_per_second": 1000.0},
+        }))
+        argv = ["bench", "--check", "--baseline", str(baseline)]
+        assert main(argv) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_bench_check_fails_against_impossible_baseline(self, tmp_path, capsys):
+        baseline = tmp_path / "BENCH_baseline.json"
+        baseline.write_text(json.dumps({
+            "schema": "bench-v1",
+            "rev": "impossible",
+            "workload": {"packets": 20, "payload_sizes": [64], "seed": 0},
+            "serial": {"events_per_second": 1e12},
+        }))
+        assert main(["bench", "--check", "--baseline", str(baseline)]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_bench_check_missing_baseline_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["bench", "--check", "--baseline", str(tmp_path / "nope.json")])
+
+    def test_check_rejected_outside_bench(self):
+        with pytest.raises(SystemExit):
+            main(["table1", "--check"])

@@ -1,0 +1,148 @@
+"""The bench regression gate (``bench --check``).
+
+``evaluate_check`` is a pure function of two records, so the gate rules
+are tested directly: normalized events/second within tolerance passes,
+beyond tolerance fails, and the deterministic copy-count gate fails on
+any increase.  The copy-count measurement itself is smoke-tested at a
+tiny packet count.
+"""
+
+import pytest
+
+from repro.exec.bench import (
+    bench_memory,
+    bench_tlp_segmentation,
+    bench_virtqueue_walk,
+    evaluate_check,
+    measure_copies_per_packet,
+)
+
+
+def _baseline(eps=100_000.0, score=10_000_000.0, virtio_reads=12.0, xdma_reads=4.0):
+    return {
+        "schema": "bench-v2",
+        "rev": "baseline",
+        "serial": {"events_per_second": eps},
+        "micro": {
+            "cpu_score": score,
+            "end_to_end": {"events_per_second": eps},
+            "copy_counts": {
+                "virtio": {"read": virtio_reads},
+                "xdma": {"read": xdma_reads},
+            },
+        },
+    }
+
+
+def _current(eps=100_000.0, score=10_000_000.0, virtio_reads=12.0, xdma_reads=4.0):
+    return {
+        "cpu_score": score,
+        "end_to_end": {"events_per_second": eps},
+        "copy_counts": {
+            "virtio": {"read": virtio_reads},
+            "xdma": {"read": xdma_reads},
+        },
+    }
+
+
+def test_identical_measurement_passes():
+    ok, failures, details = evaluate_check(_baseline(), _current(), tolerance=0.15)
+    assert ok and not failures
+    assert details["events_per_second"]["ratio"] == pytest.approx(1.0)
+    assert details["events_per_second"]["normalized"]
+
+
+def test_small_regression_within_tolerance_passes():
+    ok, failures, _ = evaluate_check(
+        _baseline(), _current(eps=90_000.0), tolerance=0.15
+    )
+    assert ok and not failures
+
+
+def test_large_regression_fails():
+    ok, failures, details = evaluate_check(
+        _baseline(), _current(eps=80_000.0), tolerance=0.15
+    )
+    assert not ok
+    assert any("events/s regressed" in failure for failure in failures)
+    assert details["events_per_second"]["ratio"] == pytest.approx(0.8)
+
+
+def test_cpu_score_normalization_excuses_a_slow_machine():
+    """Half the machine speed and half the events/s is not a code
+    regression: the normalized ratio is 1.0."""
+    ok, failures, details = evaluate_check(
+        _baseline(), _current(eps=50_000.0, score=5_000_000.0), tolerance=0.15
+    )
+    assert ok and not failures
+    assert details["events_per_second"]["ratio"] == pytest.approx(1.0)
+
+
+def test_faster_machine_cannot_hide_a_regression():
+    """Twice the machine speed with flat events/s IS a regression."""
+    ok, failures, _ = evaluate_check(
+        _baseline(), _current(score=20_000_000.0), tolerance=0.15
+    )
+    assert not ok
+
+
+def test_copy_count_increase_fails_exactly():
+    ok, failures, _ = evaluate_check(
+        _baseline(), _current(virtio_reads=13.0), tolerance=0.15
+    )
+    assert not ok
+    assert any("virtio" in failure and "copies/packet" in failure for failure in failures)
+
+
+def test_copy_count_decrease_passes():
+    ok, failures, _ = evaluate_check(
+        _baseline(), _current(xdma_reads=3.0), tolerance=0.15
+    )
+    assert ok and not failures
+
+
+def test_v1_baseline_compares_raw():
+    """A pre-micro (bench-v1) baseline still gates, unnormalized and
+    without the copy-count rule."""
+    baseline = {"schema": "bench-v1", "serial": {"events_per_second": 100_000.0}}
+    ok, _, details = evaluate_check(baseline, _current(eps=90_000.0), tolerance=0.15)
+    assert ok
+    assert not details["events_per_second"]["normalized"]
+    ok, failures, _ = evaluate_check(baseline, _current(eps=80_000.0), tolerance=0.15)
+    assert not ok and failures
+
+
+def test_bad_tolerance_rejected():
+    with pytest.raises(ValueError):
+        evaluate_check(_baseline(), _current(), tolerance=0.0)
+    with pytest.raises(ValueError):
+        evaluate_check(_baseline(), _current(), tolerance=1.0)
+
+
+def test_baseline_without_eps_rejected():
+    with pytest.raises(ValueError, match="no serial events/second"):
+        evaluate_check({"schema": "bench-v2"}, _current())
+
+
+# -- microbench smoke ----------------------------------------------------------
+
+
+def test_copy_count_measurement_is_deterministic():
+    first = measure_copies_per_packet("virtio", packets=4, warmup=2)
+    second = measure_copies_per_packet("virtio", packets=4, warmup=2)
+    assert first == second
+    assert first["read"] > 0  # the RX snapshot copy is real and counted
+
+
+def test_copy_count_rejects_unknown_driver():
+    with pytest.raises(ValueError, match="unknown driver"):
+        measure_copies_per_packet("e1000", packets=2, warmup=1)
+
+
+def test_micro_smoke():
+    mem = bench_memory(block=4096, rounds=4)
+    assert mem["read_copy_mb_s"] > 0 and mem["view_mb_s"] > 0
+    tlp = bench_tlp_segmentation(payload=1024, iters=8)
+    assert tlp["tlps_per_call"] == 4  # 1024B at Max_Payload_Size 256
+    vq = bench_virtqueue_walk(iters=16)
+    assert vq["cycles_per_second"] > 0

@@ -1,0 +1,168 @@
+"""Buffer-pool ownership safety and deterministic reuse.
+
+The zero-copy data plane leans on :class:`repro.mem.bufpool.BufferPool`
+for the staging copies that remain (DMA-read snapshots, descriptor
+gathers).  These tests pin the ownership contract -- use-after-release,
+mutation-after-handoff, double release, and the aliasing hazard all
+raise in debug mode -- and the LIFO reuse discipline that keeps pooled
+runs byte-identical across ``--jobs``.
+"""
+
+import pytest
+
+from repro.mem.bufpool import BufferPool, BufferPoolError
+
+
+def test_acquire_view_roundtrip():
+    pool = BufferPool(segment_size=64, debug=True)
+    ref = pool.acquire(16)
+    ref.view()[:4] = b"abcd"
+    assert bytes(ref)[:4] == b"abcd"
+    assert len(ref) == 16
+    ref.release()
+
+
+def test_acquire_from_copies_payload():
+    pool = BufferPool(segment_size=64, debug=True)
+    ref = pool.acquire_from(b"hello")
+    assert bytes(ref) == b"hello"
+    assert bytes(ref.readonly()) == b"hello"
+    ref.release()
+
+
+def test_use_after_release_raises():
+    pool = BufferPool(segment_size=64, debug=True)
+    ref = pool.acquire(16)
+    ref.release()
+    with pytest.raises(BufferPoolError, match="use after release"):
+        ref.view()
+    with pytest.raises(BufferPoolError, match="use after release"):
+        ref.readonly()
+    with pytest.raises(BufferPoolError, match="use after release"):
+        bytes(ref)
+
+
+def test_double_release_raises():
+    pool = BufferPool(segment_size=64, debug=True)
+    ref = pool.acquire(16)
+    ref.release()
+    with pytest.raises(BufferPoolError, match="use after release"):
+        ref.release()
+
+
+def test_mutation_after_handoff_raises():
+    pool = BufferPool(segment_size=64, debug=True)
+    ref = pool.acquire(16)
+    ref.view()[:2] = b"ok"
+    consumer_view = ref.handoff()
+    assert bytes(consumer_view[:2]) == b"ok"
+    assert consumer_view.readonly
+    with pytest.raises(BufferPoolError, match="mutation after handoff"):
+        ref.view()
+    # The consumer's read path stays valid until release.
+    assert bytes(ref.readonly()[:2]) == b"ok"
+    del consumer_view
+    ref.release()
+
+
+def test_aliasing_between_in_flight_refs_raises():
+    """Recycling a segment while a view of its previous use is alive is
+    the aliasing hazard: the old view would observe the new owner's
+    payload.  The debug probe catches it at reacquire time."""
+    pool = BufferPool(segment_size=64, debug=True)
+    ref = pool.acquire(16)
+    stale = ref.readonly()  # consumer holds a view...
+    ref.release()  # ...while the producer releases (legal so far)
+    with pytest.raises(BufferPoolError, match="aliasing hazard"):
+        pool.acquire(16)  # ...but the segment cannot be recycled under it
+    del stale
+    # The poisoned segment was quarantined (dropped from the free list);
+    # the pool recovers by allocating a fresh one.
+    replacement = pool.acquire(16)
+    assert replacement.segment_id == 1
+    replacement.release()
+
+
+def test_release_with_dead_view_is_clean():
+    pool = BufferPool(segment_size=64, debug=True)
+    ref = pool.acquire(16)
+    view = ref.handoff()
+    del view
+    ref.release()
+    reused = pool.acquire(16)
+    assert reused.segment_id == ref.segment_id
+    reused.release()
+
+
+def test_zero_length_and_negative_length():
+    pool = BufferPool(segment_size=64, debug=True)
+    ref = pool.acquire(0)
+    assert len(ref) == 0
+    assert bytes(ref) == b""
+    ref.release()
+    with pytest.raises(ValueError):
+        pool.acquire(-1)
+
+
+def test_bucket_rounds_up_to_power_of_two():
+    pool = BufferPool(segment_size=64, debug=True)
+    small = pool.acquire(16)
+    large = pool.acquire(100)  # > 64: next bucket (128)
+    small.release()
+    large.release()
+    # A 70-byte request reuses the 128-byte segment, not the 64-byte one.
+    reused = pool.acquire(70)
+    assert reused.segment_id == large.segment_id
+    reused.release()
+
+
+def test_reuse_sequence_is_deterministic():
+    """LIFO reuse keyed by program order: the ref->segment mapping of a
+    fixed acquire/release sequence is identical on every run (and so in
+    every ``--jobs`` worker)."""
+
+    def sequence():
+        pool = BufferPool(segment_size=64, debug=True)
+        ids = []
+        a = pool.acquire(10)
+        b = pool.acquire(20)
+        ids += [a.segment_id, b.segment_id]
+        a.release()
+        c = pool.acquire(30)  # LIFO: reuses a's segment
+        ids.append(c.segment_id)
+        b.release()
+        c.release()
+        d = pool.acquire(5)  # LIFO: reuses c's (== a's) segment
+        ids.append(d.segment_id)
+        d.release()
+        return ids, pool.stats()
+
+    first_ids, first_stats = sequence()
+    second_ids, second_stats = sequence()
+    assert first_ids == second_ids == [0, 1, 0, 0]
+    assert first_stats == second_stats
+    assert first_stats["allocated"] == 2
+    assert first_stats["reuses"] == 2
+    assert first_stats["outstanding"] == 0
+    assert first_stats["high_water"] == 2
+
+
+def test_non_debug_mode_skips_probe():
+    """Without debug, the hot path pays no probe cost and trusts the
+    call sites (the production configuration)."""
+    pool = BufferPool(segment_size=64, debug=False)
+    ref = pool.acquire(16)
+    stale = ref.readonly()
+    ref.release()
+    reused = pool.acquire(16)  # no probe, no raise
+    assert reused.segment_id == ref.segment_id
+    del stale
+    reused.release()
+
+
+def test_env_var_enables_debug(monkeypatch):
+    monkeypatch.setenv("REPRO_BUFPOOL_DEBUG", "1")
+    pool = BufferPool(segment_size=64)
+    assert pool.debug
+    monkeypatch.setenv("REPRO_BUFPOOL_DEBUG", "0")
+    assert not BufferPool(segment_size=64).debug
