@@ -33,6 +33,16 @@ recovery), each point audited by a conservation ledger::
     virtio-fpga-repro overload --multipliers 0.5 1 4 16 -j 4
     virtio-fpga-repro overload --soak --fault-rate 0.02
 
+``fleetsweep`` runs E-M1 on the fleet topology subsystem: pods of
+multi-queue virtio-net devices (plain + SR-IOV virtual functions)
+behind a shared PCIe switch uplink, each pod serving a set of tenant
+flows under admission control, with per-VF/per-queue conservation
+lanes, Jain fairness, and p99 isolation::
+
+    virtio-fpga-repro fleetsweep --json
+    virtio-fpga-repro fleetsweep --pods 2 --tenants 8 --queue-pairs 4 -j 2
+    virtio-fpga-repro fleetsweep --arbiter weighted --vfs 4
+
 ``--jobs/-j`` fans any artifact out over a process pool (bit-identical
 output for any worker count), and ``bench`` records the serial vs
 parallel perf trajectory::
@@ -74,7 +84,7 @@ from repro.workload.arrivals import ARRIVAL_KINDS
 #: Artifacts with a machine-readable rendering behind ``--json``.
 JSON_ARTIFACTS = (
     "fig3", "fig4", "fig5", "table1", "loadsweep", "faultsweep", "overload",
-    "bench",
+    "fleetsweep", "bench",
 )
 
 
@@ -91,13 +101,14 @@ def _parser() -> argparse.ArgumentParser:
         "artifact",
         choices=[
             "fig3", "fig4", "fig5", "table1", "claims", "loadsweep",
-            "faultsweep", "overload", "bench", "all",
+            "faultsweep", "overload", "fleetsweep", "bench", "all",
         ],
         help="which artifact to regenerate (loadsweep: workload-engine "
         "offered-load sweep, beyond the paper; faultsweep: fault-injection "
         "reliability sweep, beyond the paper; overload: overload-protection "
-        "sweep/soak with conservation audit, beyond the paper; bench: time "
-        "a serial vs parallel reproduction and write BENCH_<rev>.json)",
+        "sweep/soak with conservation audit, beyond the paper; fleetsweep: "
+        "E-M1 multi-tenant fleet topology sweep, beyond the paper; bench: "
+        "time a serial vs parallel reproduction and write BENCH_<rev>.json)",
     )
     parser.add_argument(
         "--packets",
@@ -211,6 +222,52 @@ def _parser() -> argparse.ArgumentParser:
         help="per-opportunity fault probability layered on top of the "
         "overload (sweep default: none; soak default: 0.02)",
     )
+    fleet = parser.add_argument_group("fleetsweep options")
+    fleet.add_argument(
+        "--pods",
+        type=int,
+        default=4,
+        metavar="N",
+        help="independent fleet pods, one cell each (default: 4; a pod is "
+        "a plain multi-queue device plus an SR-IOV device behind a shared "
+        "PCIe switch uplink)",
+    )
+    fleet.add_argument(
+        "--tenants",
+        type=int,
+        default=16,
+        metavar="N",
+        help="tenant flows per pod, assigned round-robin across the pod's "
+        "functions (default: 16, so the default sweep runs 64 flows)",
+    )
+    fleet.add_argument(
+        "--queue-pairs",
+        type=int,
+        default=2,
+        metavar="N",
+        help="TX/RX virtqueue pairs per function (default: 2)",
+    )
+    fleet.add_argument(
+        "--vfs",
+        type=int,
+        default=2,
+        metavar="N",
+        help="virtual functions on each pod's SR-IOV device (default: 2)",
+    )
+    fleet.add_argument(
+        "--tenant-rate",
+        type=float,
+        default=None,
+        metavar="PPS",
+        help="offered rate per tenant in packets/s (default: 4000)",
+    )
+    fleet.add_argument(
+        "--arbiter",
+        choices=["rr", "weighted"],
+        default="rr",
+        help="DMA bandwidth arbiter across each SR-IOV device's functions "
+        "(default: rr)",
+    )
     gate = parser.add_argument_group("bench options")
     gate.add_argument(
         "--check",
@@ -259,6 +316,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--fault-rate must be a probability in [0, 1]")
     if args.jobs is not None and args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.pods < 1:
+        parser.error("--pods must be >= 1")
+    if args.tenants < 1:
+        parser.error("--tenants must be >= 1")
+    if args.queue_pairs < 1:
+        parser.error("--queue-pairs must be >= 1")
+    if args.vfs < 1:
+        parser.error("--vfs must be >= 1")
+    if args.tenant_rate is not None and args.tenant_rate <= 0:
+        parser.error("--tenant-rate must be positive (packets/s)")
     if args.check and args.artifact != "bench":
         parser.error("--check is a bench option")
     if args.tolerance is not None and not 0.0 < args.tolerance < 1.0:
@@ -425,6 +492,43 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         all_pass = all(r.verdict == "PASS" for r in results.values())
         return 0 if all_pass else 1
+
+    if args.artifact == "fleetsweep":
+        from repro.topology.experiments import (
+            DEFAULT_TENANT_RATE_PPS,
+            run_fleet_sweep,
+        )
+
+        packets = args.packets if args.packets is not None else default_packets(50)
+        payload = args.payloads[0] if args.payloads else 64
+        rate = (
+            args.tenant_rate if args.tenant_rate is not None
+            else DEFAULT_TENANT_RATE_PPS
+        )
+        result, _ = run_fleet_sweep(
+            pods=args.pods,
+            tenants=args.tenants,
+            packets=packets,
+            seed=args.seed,
+            queue_pairs=args.queue_pairs,
+            rate_pps=rate,
+            arrival=args.distribution,
+            payload=payload,
+            vfs_per_device=args.vfs,
+            arbiter=args.arbiter,
+            jobs=args.jobs if args.jobs is not None else 1,
+        )
+        if args.json:
+            print(json.dumps(result.as_dict(), indent=2))
+        else:
+            print(result.render())
+        print(
+            f"\n[fleetsweep: {args.pods} pods x {args.tenants} tenants, "
+            f"{packets} packets/tenant, seed {args.seed}, "
+            f"{time.time() - started:.1f}s]",
+            file=sys.stderr,
+        )
+        return 0 if result.verdict == "PASS" else 1
 
     packets = args.packets if args.packets is not None else default_packets()
     payloads = args.payloads if args.payloads is not None else list(PAPER_PAYLOAD_SIZES)

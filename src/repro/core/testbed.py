@@ -11,6 +11,12 @@
 Both builders *run* the boot sequence (enumeration, driver probe) on
 the simulator so every experiment starts from a fully initialized
 machine state reached through the modeled mechanisms.
+
+Since the topology subsystem landed, these builders are thin fronts
+over :func:`repro.topology.builder.build_from_spec` with the matching
+single-endpoint :class:`~repro.topology.spec.TopologySpec` -- the
+construction path is shared with fleet topologies, and the single-device
+specs reproduce the original machines byte-identically.
 """
 
 from __future__ import annotations
@@ -18,29 +24,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
-from repro.core.calibration import (
-    FPGA_IP,
-    FPGA_MAC,
-    HOST_IP,
-    PAPER_PROFILE,
-    TEST_SRC_PORT,
-    CalibrationProfile,
-)
+from repro.core.calibration import PAPER_PROFILE, CalibrationProfile
 from repro.drivers.virtio_net import VirtioNetDriver
 from repro.drivers.xdma import XdmaCharDriver
-from repro.fpga.user_logic import EchoUserLogic, UserLogic
+from repro.fpga.user_logic import UserLogic
 from repro.fpga.xdma.core import XdmaCore
 from repro.host.kernel import HostKernel
-from repro.host.netstack.ip import Route
 from repro.host.netstack.sockets import UdpSocket
 from repro.host.netstack.stack import NetworkStack
-from repro.mem.fpga_mem import Bram
-from repro.pcie.enumeration import DiscoveredFunction, enumerate_all
-from repro.pcie.root_complex import RootComplex
+from repro.pcie.enumeration import DiscoveredFunction
 from repro.sim.kernel import Simulator
 from repro.sim.trace import Tracer
 from repro.virtio.controller.device import VirtioFpgaDevice
-from repro.virtio.controller.net import VirtioNetPersonality
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.faults.injector import FaultInjector
@@ -50,16 +45,6 @@ if TYPE_CHECKING:  # pragma: no cover
 
 class TestbedError(RuntimeError):
     """Boot sequence failed (enumeration or driver probe)."""
-
-
-def _boot(sim: Simulator, rc: RootComplex) -> list:
-    """Run enumeration to completion; return discovered functions."""
-    boot = sim.spawn(enumerate_all(rc), name="boot")
-    sim.run_until_triggered(boot)
-    functions = boot.result
-    if not functions:
-        raise TestbedError("enumeration found no device")
-    return functions
 
 
 @dataclass
@@ -135,147 +120,6 @@ class XdmaTestbed:
         return generator.run(self)
 
 
-def build_virtio_testbed(
-    seed: int = 0,
-    profile: CalibrationProfile = PAPER_PROFILE,
-    tracer: Optional[Tracer] = None,
-    user_logic: Optional[UserLogic] = None,
-    fault_plan: Optional["FaultPlan"] = None,
-) -> VirtioTestbed:
-    """Construct and boot the VirtIO NIC testbed.
-
-    When *fault_plan* is given, a :class:`~repro.faults.FaultInjector`
-    is attached *after* boot (the probe always runs fault-free), so
-    only post-boot traffic is subject to injection.
-    """
-    sim = Simulator(seed=seed)
-    rc = RootComplex(
-        sim, memory_read_latency_ns=profile.host_memory_read_ns, tracer=tracer
-    )
-    kernel = HostKernel(sim, rc, costs=profile.build_cost_model(), tracer=tracer)
-    stack = NetworkStack(kernel)
-
-    _, link = rc.create_port(profile.link)
-    logic = user_logic if user_logic is not None else EchoUserLogic(sim)
-    if tracer is not None:
-        logic.tracer = tracer
-    personality = VirtioNetPersonality(
-        logic,
-        mac=FPGA_MAC,
-        offer_csum=profile.offer_csum,
-        offer_ctrl_vq=profile.offer_ctrl_vq,
-    )
-    device = VirtioFpgaDevice(
-        sim,
-        link,
-        personality,
-        fsm_cycles=profile.virtio_fsm_cycles,
-        rx_prefetch=profile.rx_prefetch,
-        tracer=tracer,
-    )
-    device.xdma.endpoint.completer_latency = _ns(profile.endpoint_completer_ns)
-
-    functions = _boot(sim, rc)
-    function = functions[0]
-
-    driver = VirtioNetDriver(kernel, stack, function)
-    probe = sim.spawn(driver.probe(HOST_IP), name="virtio-net-probe")
-    sim.run_until_triggered(probe)
-    # Drain in-flight posted writes and the device's RX-buffer prefetch
-    # so experiments start from a quiescent, fully initialized machine.
-    sim.run()
-
-    # Routing + static ARP, as the paper's setup prescribes.
-    stack.routes.add(Route(network=FPGA_IP & 0xFFFF_FF00, prefix_len=24, device="virtio0"))
-    stack.arp.add_static(FPGA_IP, FPGA_MAC)
-
-    socket = UdpSocket(kernel, stack)
-    socket.bind(TEST_SRC_PORT)
-
-    testbed = VirtioTestbed(
-        sim=sim,
-        kernel=kernel,
-        stack=stack,
-        device=device,
-        driver=driver,
-        socket=socket,
-        user_logic=logic,
-        function=function,
-        profile=profile,
-    )
-    if fault_plan is not None:
-        from repro.faults.injector import attach_fault_plan
-
-        attach_fault_plan(testbed, fault_plan)
-    return testbed
-
-
-def build_xdma_testbed(
-    seed: int = 0,
-    profile: CalibrationProfile = PAPER_PROFILE,
-    tracer: Optional[Tracer] = None,
-    bram_size: int = 64 << 10,
-    fault_plan: Optional["FaultPlan"] = None,
-) -> XdmaTestbed:
-    """Construct and boot the XDMA example-design testbed.
-
-    Section III-B2: "a BRAM is connected directly to an AXI
-    memory-mapped interface of the PCIe IP ... Minor modifications were
-    made to change the width of the memory to match that used in the
-    VirtIO design" -- the BRAM here is byte-identical in width to the
-    VirtIO testbed's.
-    """
-    sim = Simulator(seed=seed)
-    rc = RootComplex(
-        sim, memory_read_latency_ns=profile.host_memory_read_ns, tracer=tracer
-    )
-    kernel = HostKernel(sim, rc, costs=profile.build_cost_model(), tracer=tracer)
-
-    _, link = rc.create_port(profile.link)
-    xdma = XdmaCore(sim, link, tracer=tracer)
-    xdma.endpoint.completer_latency = _ns(profile.endpoint_completer_ns)
-    xdma.attach_axi(0, Bram(bram_size, name="xdma-bram"))
-
-    functions = _boot(sim, rc)
-    function = functions[0]
-
-    driver = XdmaCharDriver(kernel, function)
-    probe = sim.spawn(driver.probe(), name="xdma-probe")
-    sim.run_until_triggered(probe)
-    sim.run()  # drain in-flight posted register writes
-    if profile.xdma_c2h_interrupt:
-        # A1 ablation: fabric logic watches the H2C engine's status,
-        # processes the received data (byte-serial passes, like the
-        # VirtIO design's user logic), and raises a user interrupt when
-        # results are ready -- so the application poll()s before read()
-        # (the "real use case" flow the paper's favourable setup avoids,
-        # Section IV-C).
-        driver.enable_c2h_notification(True)
-        engine = xdma.h2c[0]
-
-        def _process_then_notify():
-            from repro.fpga.user_logic import streaming_cycles
-
-            def body():
-                passes = 3  # parse + compute + write back
-                cycles = passes * streaming_cycles(engine.last_descriptor_length)
-                yield xdma.clock.cycles_to_time(cycles)
-                xdma.raise_user_irq(0)
-
-            xdma.spawn(body(), name="a1-user-logic")
-
-        engine.completion_hook = _process_then_notify
-
-    testbed = XdmaTestbed(
-        sim=sim, kernel=kernel, xdma=xdma, driver=driver, function=function, profile=profile
-    )
-    if fault_plan is not None:
-        from repro.faults.injector import attach_fault_plan
-
-        attach_fault_plan(testbed, fault_plan)
-    return testbed
-
-
 @dataclass
 class ConsoleTestbed:
     """A booted virtio-console setup (the device type of [14])."""
@@ -298,6 +142,60 @@ class BlockTestbed:
     profile: CalibrationProfile
 
 
+def build_virtio_testbed(
+    seed: int = 0,
+    profile: CalibrationProfile = PAPER_PROFILE,
+    tracer: Optional[Tracer] = None,
+    user_logic: Optional[UserLogic] = None,
+    fault_plan: Optional["FaultPlan"] = None,
+) -> VirtioTestbed:
+    """Construct and boot the VirtIO NIC testbed.
+
+    When *fault_plan* is given, a :class:`~repro.faults.FaultInjector`
+    is attached *after* boot (the probe always runs fault-free), so
+    only post-boot traffic is subject to injection.
+    """
+    from repro.topology.builder import build_from_spec
+    from repro.topology.spec import TopologySpec
+
+    return build_from_spec(
+        TopologySpec.single_virtio(),
+        seed=seed,
+        profile=profile,
+        tracer=tracer,
+        user_logic=user_logic,
+        fault_plan=fault_plan,
+    )
+
+
+def build_xdma_testbed(
+    seed: int = 0,
+    profile: CalibrationProfile = PAPER_PROFILE,
+    tracer: Optional[Tracer] = None,
+    bram_size: int = 64 << 10,
+    fault_plan: Optional["FaultPlan"] = None,
+) -> XdmaTestbed:
+    """Construct and boot the XDMA example-design testbed.
+
+    Section III-B2: "a BRAM is connected directly to an AXI
+    memory-mapped interface of the PCIe IP ... Minor modifications were
+    made to change the width of the memory to match that used in the
+    VirtIO design" -- the BRAM here is byte-identical in width to the
+    VirtIO testbed's.
+    """
+    from repro.topology.builder import build_from_spec
+    from repro.topology.spec import TopologySpec
+
+    return build_from_spec(
+        TopologySpec.single_xdma(),
+        seed=seed,
+        profile=profile,
+        tracer=tracer,
+        bram_size=bram_size,
+        fault_plan=fault_plan,
+    )
+
+
 def build_console_testbed(
     seed: int = 0,
     profile: CalibrationProfile = PAPER_PROFILE,
@@ -309,25 +207,12 @@ def build_console_testbed(
     changes the personality (device-specific config + queue roles) --
     the controller, transport driver, and host plumbing are unchanged.
     """
-    from repro.drivers.virtio_console import VirtioConsoleDriver
-    from repro.virtio.controller.console import VirtioConsolePersonality
+    from repro.topology.builder import build_from_spec
+    from repro.topology.spec import TopologySpec
 
-    sim = Simulator(seed=seed)
-    rc = RootComplex(sim, memory_read_latency_ns=profile.host_memory_read_ns)
-    kernel = HostKernel(sim, rc, costs=profile.build_cost_model())
-    _, link = rc.create_port(profile.link)
-    personality = VirtioConsolePersonality(echo=echo)
-    device = VirtioFpgaDevice(
-        sim, link, personality, name="virtio-console",
-        fsm_cycles=profile.virtio_fsm_cycles,
+    return build_from_spec(
+        TopologySpec.single_console(), seed=seed, profile=profile, echo=echo
     )
-    function = _boot(sim, rc)[0]
-    driver = VirtioConsoleDriver(kernel, function)
-    probe = sim.spawn(driver.probe(), name="console-probe")
-    sim.run_until_triggered(probe)
-    sim.run()
-    return ConsoleTestbed(sim=sim, kernel=kernel, device=device, driver=driver,
-                          profile=profile)
 
 
 def build_block_testbed(
@@ -336,28 +221,12 @@ def build_block_testbed(
     capacity_sectors: int = 8192,
 ) -> BlockTestbed:
     """Construct and boot a virtio-blk device + front-end driver."""
-    from repro.drivers.virtio_blk import VirtioBlkDriver
-    from repro.virtio.controller.block import VirtioBlockPersonality
+    from repro.topology.builder import build_from_spec
+    from repro.topology.spec import TopologySpec
 
-    sim = Simulator(seed=seed)
-    rc = RootComplex(sim, memory_read_latency_ns=profile.host_memory_read_ns)
-    kernel = HostKernel(sim, rc, costs=profile.build_cost_model())
-    _, link = rc.create_port(profile.link)
-    personality = VirtioBlockPersonality(capacity_sectors=capacity_sectors)
-    device = VirtioFpgaDevice(
-        sim, link, personality, name="virtio-blk",
-        fsm_cycles=profile.virtio_fsm_cycles,
+    return build_from_spec(
+        TopologySpec.single_block(),
+        seed=seed,
+        profile=profile,
+        capacity_sectors=capacity_sectors,
     )
-    function = _boot(sim, rc)[0]
-    driver = VirtioBlkDriver(kernel, function)
-    probe = sim.spawn(driver.probe(), name="blk-probe")
-    sim.run_until_triggered(probe)
-    sim.run()
-    return BlockTestbed(sim=sim, kernel=kernel, device=device, driver=driver,
-                        profile=profile)
-
-
-def _ns(value: float) -> int:
-    from repro.sim.time import ns
-
-    return ns(value)

@@ -17,10 +17,20 @@ its default non-TX-NAPI mode).
 frame and raises the queue's MSI-X vector; the ISR only schedules NAPI;
 the poll loop harvests used buffers, reposts fresh ones, and feeds the
 stack -- then re-enables interrupts.
+
+**Multi-queue** (VIRTIO_NET_F_MQ): when the device offers N > 1
+virtqueue pairs, the driver brings up all of them -- one NAPI context,
+one RX buffer pool, one TX slot pool, and one MSI-X vector pair per
+queue pair -- enables them with VIRTIO_NET_CTRL_MQ_VQ_PAIRS_SET, and
+steers each outbound frame to the pair its RSS flow hash selects
+(matching the device's receive-side steering, so a flow stays on one
+pair in both directions).  With one pair, every structure below
+degenerates to the single-queue driver unchanged.
 """
 
 from __future__ import annotations
 
+from functools import partial
 from typing import TYPE_CHECKING, Any, Dict, Generator, List, Optional
 
 from repro.drivers.virtio_pci import VirtioPciTransport
@@ -31,6 +41,7 @@ from repro.host.netstack.netdev import (
     NapiContext,
     NetDevice,
 )
+from repro.host.netstack.rss import steer
 from repro.host.netstack.skb import CHECKSUM_PARTIAL, CHECKSUM_UNNECESSARY, Skb
 from repro.host.netstack.stack import NetworkStack
 from repro.mem.dma import DmaBuffer
@@ -38,10 +49,13 @@ from repro.sim.time import ns
 from repro.virtio.constants import (
     STATUS_DEVICE_NEEDS_RESET,
     VIRTIO_F_VERSION_1,
+    VIRTIO_NET_CTRL_MQ,
+    VIRTIO_NET_CTRL_MQ_VQ_PAIRS_SET,
     VIRTIO_NET_F_CSUM,
     VIRTIO_NET_F_CTRL_VQ,
     VIRTIO_NET_F_GUEST_CSUM,
     VIRTIO_NET_F_MAC,
+    VIRTIO_NET_F_MQ,
     VIRTIO_NET_F_MTU,
     VIRTIO_NET_F_STATUS,
 )
@@ -60,13 +74,24 @@ RECEIVEQ = 0
 TRANSMITQ = 1
 CTRLQ = 2
 
+
+def rx_queue_index(pair: int) -> int:
+    """Queue index of pair *pair*'s receiveq (5.1.2)."""
+    return 2 * pair
+
+
+def tx_queue_index(pair: int) -> int:
+    """Queue index of pair *pair*'s transmitq (5.1.2)."""
+    return 2 * pair + 1
+
+
 #: Receive buffers kept posted (virtio-net fills the whole ring; a
 #: modest pool keeps simulation memory small with identical latency
 #: behaviour at the experiments' one-in-flight load).
 RX_POOL_SIZE = 64
 #: Size of each receive buffer (MTU frame + virtio_net_hdr).
 RX_BUFFER_SIZE = 2048
-#: Transmit buffer slots (recycled round-robin after completion).
+#: Transmit buffer slots per queue pair (recycled after completion).
 TX_POOL_SIZE = 64
 TX_BUFFER_SIZE = 2048
 
@@ -77,6 +102,7 @@ DRIVER_SUPPORTED = FeatureSet.of(
     VIRTIO_NET_F_CTRL_VQ,
     VIRTIO_NET_F_GUEST_CSUM,
     VIRTIO_NET_F_MAC,
+    VIRTIO_NET_F_MQ,
     VIRTIO_NET_F_MTU,
     VIRTIO_NET_F_STATUS,
 )
@@ -97,14 +123,19 @@ class VirtioNetDriver:
         self.transport = VirtioPciTransport(kernel, function, name=ifname)
         self.ifname = ifname
         self.netdev: Optional[NetDevice] = None
-        self.napi: Optional[NapiContext] = None
-        self._rx_buffers: Dict[int, DmaBuffer] = {}  # chain head -> buffer
-        self._tx_buffers: List[DmaBuffer] = []
-        self._tx_slot = 0
-        self._tx_outstanding = 0
+        #: Enabled TX/RX virtqueue pairs (1 until MQ is negotiated).
+        self.queue_pairs = 1
+        self.napis: List[NapiContext] = []
+        self._rx_pools: List[Dict[int, DmaBuffer]] = []  # pair -> {head: buffer}
+        self._tx_pools: List[List[DmaBuffer]] = []
+        self._tx_slots: List[int] = []
+        self._tx_counts: List[int] = []
+        self._pending: List[Dict[int, tuple]] = []  # pair -> {head: (addr, len)}
         self.tx_ring_drops = 0
         self.tx_kicks = 0
         self.rx_irqs = 0
+        #: frames steered to each TX pair (RSS evidence).
+        self.tx_steered: List[int] = []
         self.has_ctrl_vq = False
         self._ctrl_buf = None
         self._ctrl_status = None
@@ -115,9 +146,8 @@ class VirtioNetDriver:
         self.injector = None
         self.watchdog_timeout_ns = 1_000_000.0
         self.max_watchdog_kicks = 3
-        self._pending_tx: Dict[int, tuple] = {}  # chain head -> (addr, len)
         self._watchdog_armed = False
-        self._watchdog_snapshot = 0
+        self._watchdog_snapshot: List[int] = []
         self._watchdog_kicks = 0
         self._stall_started_at: Optional[int] = None
         self._recovering = False
@@ -127,6 +157,33 @@ class VirtioNetDriver:
         self.needs_reset_seen = 0
         self.requests_failed = 0
         self.recovery_latencies_ps: List[int] = []
+
+    # -- single-queue compatibility views ------------------------------------------
+    #
+    # Pre-MQ code (tests, fault injector, health probes) reads these as
+    # scalars/dicts; with one pair they are exactly the pair-0 state.
+
+    @property
+    def napi(self) -> Optional[NapiContext]:
+        return self.napis[0] if self.napis else None
+
+    @property
+    def _rx_buffers(self) -> Dict[int, DmaBuffer]:
+        merged: Dict[int, DmaBuffer] = {}
+        for pool in self._rx_pools:
+            merged.update(pool)
+        return merged
+
+    @property
+    def _pending_tx(self) -> Dict[int, tuple]:
+        merged: Dict[int, tuple] = {}
+        for pending in self._pending:
+            merged.update(pending)
+        return merged
+
+    @property
+    def _tx_outstanding(self) -> int:
+        return sum(self._tx_counts)
 
     # -- probe --------------------------------------------------------------------
 
@@ -143,6 +200,10 @@ class VirtioNetDriver:
         if accepted.has(VIRTIO_NET_F_MTU):
             raw = yield from transport.device_config_read(10, 2)
             mtu = int.from_bytes(raw, "little")
+        self.queue_pairs = 1
+        if accepted.has(VIRTIO_NET_F_MQ):
+            raw = yield from transport.device_config_read(8, 2)
+            self.queue_pairs = max(1, int.from_bytes(raw, "little"))
 
         features = set()
         if accepted.has(VIRTIO_NET_F_CSUM):
@@ -153,52 +214,79 @@ class VirtioNetDriver:
         self.netdev.set_xmit(self._start_xmit)
         self.stack.register_device(self.netdev, ip)
 
-        # RX interrupt -> NAPI.
-        self.napi = NapiContext(
-            self.kernel,
-            self.netdev,
-            poll=self._napi_poll,
-            irq_enable=self._rx_irq_enable,
-            irq_disable=self._rx_irq_disable,
-            recheck=lambda: self.transport.queue(RECEIVEQ).has_used(),
-        )
-        rx_vector = transport.queue_vector(RECEIVEQ)
-        self.kernel.irqc.register(rx_vector, self._rx_interrupt)
-        tx_vector = transport.queue_vector(TRANSMITQ)
-        self.kernel.irqc.register(tx_vector, self._tx_interrupt)
+        # Per-pair RX interrupt -> NAPI, plus the TX-completion vector.
+        self.napis = []
+        self.tx_steered = [0] * self.queue_pairs
+        for pair in range(self.queue_pairs):
+            napi = NapiContext(
+                self.kernel,
+                self.netdev,
+                poll=partial(self._napi_poll, pair),
+                irq_enable=partial(self._rx_irq_enable, pair),
+                irq_disable=partial(self._rx_irq_disable, pair),
+                recheck=partial(self._rx_has_used, pair),
+            )
+            self.napis.append(napi)
+            rx_vector = transport.queue_vector(rx_queue_index(pair))
+            self.kernel.irqc.register(rx_vector, partial(self._rx_interrupt, pair))
+            tx_vector = transport.queue_vector(tx_queue_index(pair))
+            self.kernel.irqc.register(tx_vector, self._tx_interrupt)
         self.kernel.irqc.register(transport.config_vector, self._config_interrupt)
 
         # Control queue, when the device exposes one.
+        ctrl_index = self.ctrl_queue_index()
         self.has_ctrl_vq = (
-            accepted.has(VIRTIO_NET_F_CTRL_VQ) and len(transport.virtqueues) > CTRLQ
+            accepted.has(VIRTIO_NET_F_CTRL_VQ) and len(transport.virtqueues) > ctrl_index
         )
         if self.has_ctrl_vq:
             self._ctrl_buf = self.kernel.alloc_dma(64)
             self._ctrl_status = self.kernel.alloc_dma(16)
-            self.kernel.irqc.register(transport.queue_vector(CTRLQ), self._ctrl_interrupt)
+            self.kernel.irqc.register(
+                transport.queue_vector(ctrl_index), self._ctrl_interrupt
+            )
 
-        # TX buffer pool.
-        for _ in range(TX_POOL_SIZE):
-            self._tx_buffers.append(self.kernel.alloc_dma(TX_BUFFER_SIZE))
+        # TX buffer pools; transmitq interrupts are suppressed --
+        # completions are cleaned in the xmit path (default Linux
+        # virtio-net behaviour).
+        self._tx_pools = []
+        self._tx_slots = [0] * self.queue_pairs
+        self._tx_counts = [0] * self.queue_pairs
+        self._pending = [dict() for _ in range(self.queue_pairs)]
+        for pair in range(self.queue_pairs):
+            pool = [self.kernel.alloc_dma(TX_BUFFER_SIZE) for _ in range(TX_POOL_SIZE)]
+            self._tx_pools.append(pool)
+            transport.queue(tx_queue_index(pair)).set_avail_no_interrupt(True)
 
-        # Suppress transmitq interrupts: completions are cleaned in the
-        # xmit path (default Linux virtio-net behaviour).
-        transport.queue(TRANSMITQ).set_avail_no_interrupt(True)
+        # Fill every receiveq and hand the buffers to the device.
+        self._rx_pools = [dict() for _ in range(self.queue_pairs)]
+        for pair in range(self.queue_pairs):
+            rx_vq = transport.queue(rx_queue_index(pair))
+            for _ in range(RX_POOL_SIZE):
+                buffer = self.kernel.alloc_dma(RX_BUFFER_SIZE)
+                head = rx_vq.add_buffer([], [(buffer.addr, RX_BUFFER_SIZE)])
+                self._rx_pools[pair][head] = buffer
+            rx_vq.publish()
+            yield from transport.notify(rx_queue_index(pair))
 
-        # Fill the receiveq and hand the buffers to the device.
-        rx_vq = transport.queue(RECEIVEQ)
-        for _ in range(RX_POOL_SIZE):
-            buffer = self.kernel.alloc_dma(RX_BUFFER_SIZE)
-            head = rx_vq.add_buffer([], [(buffer.addr, RX_BUFFER_SIZE)])
-            self._rx_buffers[head] = buffer
-        rx_vq.publish()
-        yield from transport.notify(RECEIVEQ)
+        if self.queue_pairs > 1:
+            # 5.1.6.5.5: the device uses only pair 0 until told otherwise.
+            ack = yield from self.send_ctrl_command(
+                VIRTIO_NET_CTRL_MQ,
+                VIRTIO_NET_CTRL_MQ_VQ_PAIRS_SET,
+                self.queue_pairs.to_bytes(2, "little"),
+            )
+            if ack != 0:
+                raise RuntimeError(f"{self.ifname}: VQ_PAIRS_SET rejected ({ack})")
         return self.netdev
+
+    def ctrl_queue_index(self) -> int:
+        """Queue index of the control queue (after all data pairs)."""
+        return 2 * self.queue_pairs
 
     # -- transmit path -----------------------------------------------------------------
 
     def tx_has_room(self) -> bool:
-        """Whether the transmitq can accept another frame right now.
+        """Whether some transmitq can accept another frame right now.
 
         Conservative: completions pending in the used ring would free
         slots on the next xmit's opportunistic clean, so a ``False``
@@ -216,24 +304,42 @@ class VirtioNetDriver:
         nothing cleans, so nothing ever frees (the deadlock the E-S1
         soak's recovery phase exposed).
         """
-        vq = self.transport.queue(TRANSMITQ)
-        if vq.has_room(1) and self._tx_outstanding < TX_POOL_SIZE:
-            return True
-        return vq.has_used()
+        for pair in range(self.queue_pairs):
+            vq = self.transport.queue(tx_queue_index(pair))
+            if vq.has_room(1) and self._tx_counts[pair] < TX_POOL_SIZE:
+                return True
+            if vq.has_used():
+                return True
+        return False
+
+    def tx_depth_rejects(self) -> int:
+        """Frames rejected by TX avail-ring depth bounds, over all pairs
+        (the overload layer's bounded-queue drop counter)."""
+        return sum(
+            self.transport.queue(tx_queue_index(pair)).depth_rejects
+            for pair in range(self.queue_pairs)
+        )
 
     def _start_xmit(self, skb: Skb) -> Generator[Any, Any, None]:
         kernel = self.kernel
-        vq = self.transport.queue(TRANSMITQ)
+        if self.queue_pairs > 1:
+            # RSS steering: same flow hash as the device's receive side,
+            # so a flow's TX and RX live on the same pair.
+            pair = steer(bytes(skb.data[:42]), self.queue_pairs)
+        else:
+            pair = 0
+        self.tx_steered[pair] += 1
+        vq = self.transport.queue(tx_queue_index(pair))
 
         # Opportunistically clean completed transmissions.
         while vq.has_used():
             elem = vq.get_used()
             assert elem is not None
-            self._tx_outstanding -= 1
-            self._pending_tx.pop(elem.head, None)
+            self._tx_counts[pair] -= 1
+            self._pending[pair].pop(elem.head, None)
             yield kernel.cpu("virtio_get_buf")
 
-        if not (vq.has_room(1) and self._tx_outstanding < TX_POOL_SIZE):
+        if not (vq.has_room(1) and self._tx_counts[pair] < TX_POOL_SIZE):
             # The ring (or the overload layer's depth bound) is still
             # full after the clean.  Linux would netif_stop_queue
             # earlier; our qdisc gate normally catches this, so this is
@@ -252,8 +358,8 @@ class VirtioNetDriver:
                 csum_offset=skb.csum_offset,
                 num_buffers=0,
             )
-        buffer = self._tx_buffers[self._tx_slot]
-        self._tx_slot = (self._tx_slot + 1) % TX_POOL_SIZE
+        buffer = self._tx_pools[pair][self._tx_slots[pair]]
+        self._tx_slots[pair] = (self._tx_slots[pair] + 1) % TX_POOL_SIZE
         total = VIRTIO_NET_HDR_SIZE + len(skb.data)
         if total > buffer.size:
             raise RuntimeError(f"frame of {total}B exceeds TX buffer")
@@ -266,40 +372,43 @@ class VirtioNetDriver:
         yield kernel.cpu("virtio_add_buf")
         head = vq.add_buffer([(buffer.addr, total)], [])
         vq.publish()
-        self._pending_tx[head] = (buffer.addr, total)
-        self._tx_outstanding += 1
+        self._pending[pair][head] = (buffer.addr, total)
+        self._tx_counts[pair] += 1
         # The single runtime doorbell (Section IV-A).
         self.tx_kicks += 1
-        yield from self.transport.notify(TRANSMITQ)
+        yield from self.transport.notify(tx_queue_index(pair))
         if self.injector is not None and not self._watchdog_armed:
             self._watchdog_armed = True
-            self._watchdog_snapshot = vq.device_used_idx()
+            self._watchdog_snapshot = self._used_idx_snapshot()
             self.kernel.sim.spawn(self._watchdog(), name=f"{self.ifname}.tx-watchdog")
 
     # -- receive path ---------------------------------------------------------------------
 
-    def _rx_interrupt(self) -> Generator[Any, Any, None]:
-        """Hard-IRQ half: acknowledge and schedule NAPI."""
+    def _rx_interrupt(self, pair: int = 0) -> Generator[Any, Any, None]:
+        """Hard-IRQ half: acknowledge and schedule the pair's NAPI."""
         self.rx_irqs += 1
         yield self.kernel.cpu("driver_irq_ack")
-        assert self.napi is not None
-        self.napi.schedule()
+        self.napis[pair].schedule()
 
     def _tx_interrupt(self) -> Generator[Any, Any, None]:
         """Transmitq interrupts are suppressed; a stray one (raised
         before suppression took effect) just gets acknowledged."""
         yield self.kernel.cpu("driver_irq_ack")
 
-    def _rx_irq_disable(self) -> None:
-        self.transport.queue(RECEIVEQ).set_avail_no_interrupt(True)
+    def _rx_has_used(self, pair: int = 0) -> bool:
+        return self.transport.queue(rx_queue_index(pair)).has_used()
 
-    def _rx_irq_enable(self) -> None:
-        self.transport.queue(RECEIVEQ).set_avail_no_interrupt(False)
+    def _rx_irq_disable(self, pair: int = 0) -> None:
+        self.transport.queue(rx_queue_index(pair)).set_avail_no_interrupt(True)
 
-    def _napi_poll(self, budget: int) -> Generator[Any, Any, int]:
-        """Harvest up to *budget* received frames."""
+    def _rx_irq_enable(self, pair: int = 0) -> None:
+        self.transport.queue(rx_queue_index(pair)).set_avail_no_interrupt(False)
+
+    def _napi_poll(self, pair: int, budget: int) -> Generator[Any, Any, int]:
+        """Harvest up to *budget* received frames from one pair."""
         kernel = self.kernel
-        vq = self.transport.queue(RECEIVEQ)
+        vq = self.transport.queue(rx_queue_index(pair))
+        pool = self._rx_pools[pair]
         harvested = 0
         reposted = False
         while harvested < budget:
@@ -307,7 +416,7 @@ class VirtioNetDriver:
             if elem is None:
                 break
             yield kernel.cpu("virtio_get_buf")
-            buffer = self._rx_buffers.pop(elem.head)
+            buffer = pool.pop(elem.head)
             # The snapshot copy is required: the buffer is reposted
             # below and the device may DMA into it while the stack is
             # still parsing.  Everything downstream (frame, IP, UDP,
@@ -322,7 +431,7 @@ class VirtioNetDriver:
             # Repost the buffer before processing (try_fill_recv).
             yield kernel.cpu("virtio_add_buf")
             head = vq.add_buffer([], [(buffer.addr, RX_BUFFER_SIZE)])
-            self._rx_buffers[head] = buffer
+            pool[head] = buffer
             reposted = True
 
             assert self.netdev is not None
@@ -330,30 +439,42 @@ class VirtioNetDriver:
             harvested += 1
         if reposted:
             vq.publish()
-            yield from self.transport.notify(RECEIVEQ)
+            yield from self.transport.notify(rx_queue_index(pair))
         return harvested
 
     # -- fault recovery ---------------------------------------------------------------------
 
+    def _used_idx_snapshot(self) -> List[int]:
+        return [
+            self.transport.queue(tx_queue_index(pair)).device_used_idx()
+            for pair in range(self.queue_pairs)
+        ]
+
     def _watchdog(self) -> Generator[Any, Any, None]:
         """TX watchdog (the model's ``ndo_tx_timeout`` path): while
         transmissions are pending, check that the device keeps making
-        used-ring progress.  A stalled queue is re-kicked a bounded
-        number of times (recovers lost doorbells), then escalated to a
-        full device reset.  All checks are pure ring-memory reads, so an
-        idle watchdog never perturbs the simulation's RNG streams."""
+        used-ring progress on every pair.  A stalled queue is re-kicked
+        a bounded number of times (recovers lost doorbells), then
+        escalated to a full device reset.  All checks are pure
+        ring-memory reads, so an idle watchdog never perturbs the
+        simulation's RNG streams."""
         try:
             while True:
                 yield self.kernel.sim.timeout(
                     ns(self.watchdog_timeout_ns), name=f"{self.ifname}.watchdog"
                 )
-                if self._recovering or not self._pending_tx:
+                if self._recovering or not any(self._pending):
                     return
-                vq = self.transport.queue(TRANSMITQ)
-                used_idx = vq.device_used_idx()
-                if used_idx != self._watchdog_snapshot:
+                snapshot = self._used_idx_snapshot()
+                stalled = [
+                    pair
+                    for pair in range(self.queue_pairs)
+                    if self._pending[pair]
+                    and snapshot[pair] == self._watchdog_snapshot[pair]
+                ]
+                if not stalled:
                     # Progress since the last check: healthy.
-                    self._watchdog_snapshot = used_idx
+                    self._watchdog_snapshot = snapshot
                     self._watchdog_kicks = 0
                     if self._stall_started_at is not None:
                         self.recovery_latencies_ps.append(
@@ -361,7 +482,10 @@ class VirtioNetDriver:
                         )
                         self._stall_started_at = None
                     continue
-                if vq.has_used():
+                if all(
+                    self.transport.queue(tx_queue_index(pair)).has_used()
+                    for pair in stalled
+                ):
                     # Completions are parked in the used ring waiting for
                     # the next xmit's opportunistic clean -- host-side
                     # laziness, not a device stall (and the normal state
@@ -373,7 +497,9 @@ class VirtioNetDriver:
                 if self._watchdog_kicks < self.max_watchdog_kicks:
                     self._watchdog_kicks += 1
                     self.watchdog_rekicks += 1
-                    yield from self.transport.notify(TRANSMITQ)
+                    for pair in stalled:
+                        if not self.transport.queue(tx_queue_index(pair)).has_used():
+                            yield from self.transport.notify(tx_queue_index(pair))
                     continue
                 self._watchdog_kicks = 0
                 self._begin_recovery()
@@ -400,7 +526,7 @@ class VirtioNetDriver:
     def _recover(self) -> Generator[Any, Any, None]:
         """Reset the device and drive the full 3.1.1 re-initialization,
         then restore runtime state: RX refill from the persistent buffer
-        pool and replay of every in-flight TX chain (their pool buffers
+        pools and replay of every in-flight TX chain (their pool buffers
         still hold the frames), so no packet is lost across the reset."""
         start = self._stall_started_at
         if start is None:
@@ -408,60 +534,84 @@ class VirtioNetDriver:
         self._stall_started_at = None
         self.device_resets += 1
         transport = self.transport
-        # Harvest completions parked in the used ring first: a chain the
+        # Harvest completions parked in the used rings first: a chain the
         # device already consumed must not be replayed (it would arrive
         # twice), only chains still genuinely in flight.
-        old_tx = transport.queue(TRANSMITQ)
-        while old_tx.has_used():
-            elem = old_tx.get_used()
-            assert elem is not None
-            self._tx_outstanding -= 1
-            self._pending_tx.pop(elem.head, None)
-            yield self.kernel.cpu("virtio_get_buf")
-        pending = list(self._pending_tx.values())  # FIFO submission order
-        self._pending_tx.clear()
-        self._tx_outstanding = 0
+        pending: List[List[tuple]] = []
+        for pair in range(self.queue_pairs):
+            old_tx = transport.queue(tx_queue_index(pair))
+            while old_tx.has_used():
+                elem = old_tx.get_used()
+                assert elem is not None
+                self._tx_counts[pair] -= 1
+                self._pending[pair].pop(elem.head, None)
+                yield self.kernel.cpu("virtio_get_buf")
+            pending.append(list(self._pending[pair].values()))  # FIFO order
+            self._pending[pair].clear()
+            self._tx_counts[pair] = 0
         for index in range(len(transport.virtqueues)):
             self.kernel.irqc.unregister(transport.queue_vector(index))
-        rx_pool = list(self._rx_buffers.values())
-        self._rx_buffers.clear()
+        rx_pools = [list(pool.values()) for pool in self._rx_pools]
+        for pool in self._rx_pools:
+            pool.clear()
         transport.reset_runtime_state()
         yield from transport.initialize(DRIVER_SUPPORTED)
-        self.kernel.irqc.register(transport.queue_vector(RECEIVEQ), self._rx_interrupt)
-        self.kernel.irqc.register(transport.queue_vector(TRANSMITQ), self._tx_interrupt)
-        if self.has_ctrl_vq and len(transport.virtqueues) > CTRLQ:
-            self.kernel.irqc.register(transport.queue_vector(CTRLQ), self._ctrl_interrupt)
-        transport.queue(TRANSMITQ).set_avail_no_interrupt(True)
-        rx_vq = transport.queue(RECEIVEQ)
-        for buffer in rx_pool:
-            head = rx_vq.add_buffer([], [(buffer.addr, RX_BUFFER_SIZE)])
-            self._rx_buffers[head] = buffer
-        rx_vq.publish()
-        yield from transport.notify(RECEIVEQ)
-        tx_vq = transport.queue(TRANSMITQ)
-        for addr, length in pending:
-            yield self.kernel.cpu("virtio_add_buf")
-            head = tx_vq.add_buffer([(addr, length)], [])
-            self._pending_tx[head] = (addr, length)
-            self._tx_outstanding += 1
-        if pending:
-            tx_vq.publish()
-            self.tx_kicks += 1
-            yield from self.transport.notify(TRANSMITQ)
+        for pair in range(self.queue_pairs):
+            self.kernel.irqc.register(
+                transport.queue_vector(rx_queue_index(pair)),
+                partial(self._rx_interrupt, pair),
+            )
+            self.kernel.irqc.register(
+                transport.queue_vector(tx_queue_index(pair)), self._tx_interrupt
+            )
+        ctrl_index = self.ctrl_queue_index()
+        if self.has_ctrl_vq and len(transport.virtqueues) > ctrl_index:
+            self.kernel.irqc.register(
+                transport.queue_vector(ctrl_index), self._ctrl_interrupt
+            )
+        for pair in range(self.queue_pairs):
+            transport.queue(tx_queue_index(pair)).set_avail_no_interrupt(True)
+        for pair in range(self.queue_pairs):
+            rx_vq = transport.queue(rx_queue_index(pair))
+            for buffer in rx_pools[pair]:
+                head = rx_vq.add_buffer([], [(buffer.addr, RX_BUFFER_SIZE)])
+                self._rx_pools[pair][head] = buffer
+            rx_vq.publish()
+            yield from transport.notify(rx_queue_index(pair))
+        if self.queue_pairs > 1:
+            # The reset dropped the device back to one active pair.
+            yield from self.send_ctrl_command(
+                VIRTIO_NET_CTRL_MQ,
+                VIRTIO_NET_CTRL_MQ_VQ_PAIRS_SET,
+                self.queue_pairs.to_bytes(2, "little"),
+            )
+        replayed = False
+        for pair in range(self.queue_pairs):
+            tx_vq = transport.queue(tx_queue_index(pair))
+            for addr, length in pending[pair]:
+                yield self.kernel.cpu("virtio_add_buf")
+                head = tx_vq.add_buffer([(addr, length)], [])
+                self._pending[pair][head] = (addr, length)
+                self._tx_counts[pair] += 1
+            if pending[pair]:
+                tx_vq.publish()
+                self.tx_kicks += 1
+                replayed = True
+                yield from self.transport.notify(tx_queue_index(pair))
         self.recovery_latencies_ps.append(self.kernel.sim.now - start)
         self._recovering = False
-        if pending and not self._watchdog_armed:
+        if replayed and not self._watchdog_armed:
             # Keep watching the replayed chains (their kick could itself
             # be swallowed by a lost-notification fault).
             self._watchdog_armed = True
-            self._watchdog_snapshot = tx_vq.device_used_idx()
+            self._watchdog_snapshot = self._used_idx_snapshot()
             self.kernel.sim.spawn(self._watchdog(), name=f"{self.ifname}.tx-watchdog")
 
     # -- control queue ----------------------------------------------------------------------
 
     def _ctrl_interrupt(self) -> Generator[Any, Any, None]:
         yield self.kernel.cpu("driver_irq_ack")
-        vq = self.transport.queue(CTRLQ)
+        vq = self.transport.queue(self.ctrl_queue_index())
         while True:
             elem = vq.get_used()
             if elem is None:
@@ -486,12 +636,12 @@ class VirtioNetDriver:
         payload = bytes([cls, cmd]) + data
         self._ctrl_buf.write(payload)
         yield kernel.cpu("virtio_add_buf")
-        vq = self.transport.queue(CTRLQ)
+        vq = self.transport.queue(self.ctrl_queue_index())
         vq.add_buffer([(self._ctrl_buf.addr, len(payload))],
                       [(self._ctrl_status.addr, 1)])
         vq.publish()
         self._ctrl_pending = Event(name=f"{self.ifname}.ctrl")
-        yield from self.transport.notify(CTRLQ)
+        yield from self.transport.notify(self.ctrl_queue_index())
         yield from kernel.block_on(self._ctrl_pending)
         self.ctrl_commands += 1
         return self._ctrl_status.read(0, 1)[0]
@@ -509,5 +659,5 @@ class VirtioNetDriver:
             "tx_kicks": self.tx_kicks,
             "rx_irqs": self.rx_irqs,
             "tx_outstanding": self._tx_outstanding,
-            "rx_posted": len(self._rx_buffers),
+            "rx_posted": sum(len(pool) for pool in self._rx_pools),
         }

@@ -76,7 +76,9 @@ class Cell:
       ``fault_rate`` / ``fault_plan``);
     * ``"soak"`` -- one driver's three-phase overload soak on a single
       testbed (uses ``rate_pps`` as the measured base rate plus
-      ``overload`` and ``fault_rate``).
+      ``overload`` and ``fault_rate``);
+    * ``"fleet"`` -- one pod of the E-M1 tenant-fleet sweep (uses
+      ``pod`` plus the ``fleet`` config; ``packets`` is per tenant).
     """
 
     kind: str
@@ -92,6 +94,8 @@ class Cell:
     fault_rate: Optional[float] = None
     fault_plan: Optional[object] = None  # repro.faults.FaultPlan (picklable)
     overload: Optional[object] = None  # repro.workload.OverloadConfig (picklable)
+    pod: Optional[int] = None
+    fleet: Optional[object] = None  # repro.topology.experiments.FleetConfig
 
     @property
     def label(self) -> str:
@@ -106,6 +110,8 @@ class Cell:
             return f"{self.driver}/r{self.fault_rate:g}"
         if self.kind == "soak":
             return f"{self.driver}/soak"
+        if self.kind == "fleet":
+            return f"fleet/pod{self.pod}"
         return f"{self.driver}/N={self.outstanding}"
 
 

@@ -95,6 +95,18 @@ def execute_cell(cell: Cell) -> CellOutcome:
     inputs are the cell's parameters and its derived seed.
     """
     started = time.perf_counter()
+    if cell.kind == "fleet":
+        # Fleet cells boot their own multi-device testbed from the spec
+        # riding the cell, so they never touch the legacy builders.
+        from repro.topology.experiments import execute_fleet_cell
+
+        report, events = execute_fleet_cell(cell)
+        return CellOutcome(
+            cell=cell,
+            value=report,
+            events=events,
+            wall_s=time.perf_counter() - started,
+        )
     testbed = _builder(cell.driver)(seed=cell.seed, profile=cell.profile)
     if cell.kind == "latency":
         runner = run_virtio_payload if cell.driver == "virtio" else run_xdma_payload

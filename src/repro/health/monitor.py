@@ -53,6 +53,9 @@ class HealthReport:
     hop_drops: Dict[str, int] = field(default_factory=dict)
     #: conservation violations, empty when the run is healthy.
     violations: List[str] = field(default_factory=list)
+    #: lane name -> per-lane ledger counters (queue pair, VF, tenant);
+    #: empty when the run did not tag packets with lanes.
+    lanes: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     @property
     def conserved(self) -> bool:
@@ -63,7 +66,7 @@ class HealthReport:
         return "PASS" if self.conserved else "FAIL"
 
     def as_dict(self) -> Dict[str, Any]:
-        return {
+        out = {
             "driver": self.driver,
             "mode": self.mode,
             "offered": self.offered,
@@ -75,6 +78,14 @@ class HealthReport:
             "violations": list(self.violations),
             "verdict": self.verdict,
         }
+        if self.lanes:
+            # Key order is stable and the key is absent entirely for
+            # un-laned runs, so pre-lane artifact JSON is unchanged.
+            out["lanes"] = {
+                lane: dict(sorted(counters.items()))
+                for lane, counters in sorted(self.lanes.items())
+            }
+        return out
 
     def render(self) -> str:
         reasons = ", ".join(
@@ -95,6 +106,7 @@ class ConservationMonitor:
         self.driver = driver
         self.mode = mode
         self._state: Dict[int, str] = {}
+        self._lane_of: Dict[int, str] = {}
         self.offered = 0
         self.admitted = 0
         self.delivered = 0
@@ -102,17 +114,27 @@ class ConservationMonitor:
         self.drop_reasons: Dict[str, int] = {}
         self.hop_drops: Dict[str, int] = {}
         self.violations: List[str] = []
+        self.lanes: Dict[str, Dict[str, int]] = {}
 
     # -- ledger transitions -------------------------------------------------
 
-    def admit(self, seq: int) -> None:
-        """Packet *seq* passed admission and entered the system."""
+    def admit(self, seq: int, lane: Optional[str] = None) -> None:
+        """Packet *seq* passed admission and entered the system.
+
+        *lane* tags the packet with a sub-ledger dimension (queue pair,
+        virtual function, tenant); later transitions are attributed to
+        the same lane automatically."""
         if seq in self._state:
             self._violate(f"packet {seq} admitted twice")
             return
         self._state[seq] = _ADMITTED
         self.offered += 1
         self.admitted += 1
+        if lane is not None:
+            self._lane_of[seq] = lane
+            counters = self._lane(lane)
+            counters["offered"] += 1
+            counters["admitted"] += 1
 
     def deliver(self, seq: int) -> None:
         """Packet *seq*'s completion was observed."""
@@ -125,8 +147,11 @@ class ConservationMonitor:
             return
         self._state[seq] = _DELIVERED
         self.delivered += 1
+        lane = self._lane_of.get(seq)
+        if lane is not None:
+            self._lane(lane)["delivered"] += 1
 
-    def drop(self, seq: int, reason: str) -> None:
+    def drop(self, seq: int, reason: str, lane: Optional[str] = None) -> None:
         """Packet *seq* terminally dropped for *reason*.
 
         Valid both for packets refused before admission (the seq was
@@ -137,11 +162,18 @@ class ConservationMonitor:
         if state in (_DELIVERED, _DROPPED):
             self._violate(f"packet {seq} dropped after already {state}")
             return
+        if lane is None:
+            lane = self._lane_of.get(seq)
         if state is None:
             self.offered += 1
+            if lane is not None and seq not in self._lane_of:
+                self._lane_of[seq] = lane
+                self._lane(lane)["offered"] += 1
         self._state[seq] = _DROPPED
         self.dropped += 1
         self._count_reason(reason)
+        if lane is not None:
+            self._lane(lane)["dropped"] += 1
 
     # -- hop-side evidence --------------------------------------------------
 
@@ -176,6 +208,9 @@ class ConservationMonitor:
                 self._state[seq] = _DROPPED
                 self.dropped += 1
                 self._count_reason("hop:in_flight_lost")
+                lane = self._lane_of.get(seq)
+                if lane is not None:
+                    self._lane(lane)["dropped"] += 1
             else:
                 self._violate(f"packet {seq} lost without a recorded reason")
         if self.offered != self.delivered + self.dropped + sum(
@@ -195,9 +230,17 @@ class ConservationMonitor:
             drop_reasons=dict(self.drop_reasons),
             hop_drops=dict(self.hop_drops),
             violations=list(self.violations),
+            lanes={lane: dict(c) for lane, c in self.lanes.items()},
         )
 
     # -- internals ----------------------------------------------------------
+
+    def _lane(self, lane: str) -> Dict[str, int]:
+        counters = self.lanes.get(lane)
+        if counters is None:
+            counters = {"offered": 0, "admitted": 0, "delivered": 0, "dropped": 0}
+            self.lanes[lane] = counters
+        return counters
 
     def _count_reason(self, reason: str) -> None:
         self.drop_reasons[reason] = self.drop_reasons.get(reason, 0) + 1

@@ -1,0 +1,77 @@
+"""RSS-style flow hashing for multi-queue virtio-net.
+
+Receive-side scaling spreads flows across queue pairs by hashing the
+flow tuple and reducing the hash modulo the number of enabled pairs.
+Both ends use the same function here -- the device steers inbound
+frames to an RX queue, the driver steers outbound frames to the
+matching TX queue -- so a flow stays on one queue pair in both
+directions (cache/IRQ affinity, and in-order delivery per flow).
+
+The hash is FNV-1a over the IPv4/UDP 4-tuple.  Real NICs use Toeplitz
+with a random key; FNV-1a keeps the same properties that matter for the
+model (deterministic, well-mixed, cheap) without carting a 40-byte key
+through the config space.  Determinism is a feature: the same frame
+always lands on the same queue, in the simulator and across processes,
+which is what the reproducibility harness needs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+#: FNV-1a 32-bit parameters.
+_FNV_OFFSET = 0x811C9DC5
+_FNV_PRIME = 0x01000193
+
+ETHERTYPE_IPV4 = 0x0800
+IPPROTO_UDP = 17
+
+
+def fnv1a(data: bytes) -> int:
+    """FNV-1a 32-bit hash of *data*."""
+    acc = _FNV_OFFSET
+    for byte in data:
+        acc = ((acc ^ byte) * _FNV_PRIME) & 0xFFFF_FFFF
+    return acc
+
+
+def flow_hash(src_ip: int, dst_ip: int, src_port: int, dst_port: int) -> int:
+    """Deterministic 32-bit hash of a UDP 4-tuple."""
+    key = (
+        src_ip.to_bytes(4, "big")
+        + dst_ip.to_bytes(4, "big")
+        + src_port.to_bytes(2, "big")
+        + dst_port.to_bytes(2, "big")
+    )
+    return fnv1a(key)
+
+
+def parse_udp_flow(frame: bytes) -> Optional[Tuple[int, int, int, int]]:
+    """Extract (src_ip, dst_ip, src_port, dst_port) from an Ethernet
+    frame carrying IPv4/UDP; ``None`` for anything else (ARP,
+    non-UDP, truncated) -- those flows fall back to queue 0."""
+    if len(frame) < 34:  # eth(14) + minimal ipv4(20)
+        return None
+    if int.from_bytes(frame[12:14], "big") != ETHERTYPE_IPV4:
+        return None
+    ihl = (frame[14] & 0x0F) * 4
+    if ihl < 20 or len(frame) < 14 + ihl + 4:
+        return None
+    if frame[23] != IPPROTO_UDP:
+        return None
+    src_ip = int.from_bytes(frame[26:30], "big")
+    dst_ip = int.from_bytes(frame[30:34], "big")
+    udp = 14 + ihl
+    src_port = int.from_bytes(frame[udp : udp + 2], "big")
+    dst_port = int.from_bytes(frame[udp + 2 : udp + 4], "big")
+    return src_ip, dst_ip, src_port, dst_port
+
+
+def steer(frame: bytes, queue_pairs: int) -> int:
+    """Queue-pair index for *frame* under *queue_pairs* enabled pairs."""
+    if queue_pairs <= 1:
+        return 0
+    flow = parse_udp_flow(frame)
+    if flow is None:
+        return 0
+    return flow_hash(*flow) % queue_pairs

@@ -142,6 +142,10 @@ class LinkDirection(Component):
         self._delivered_name = f"{self.path}.delivered"
         #: Fault injector (attached by repro.faults; None in normal runs).
         self.injector = None
+        #: Shared-uplink arbiter (a PcieSwitch) when this direction sits
+        #: behind a switch; None leaves behaviour exactly as before.
+        self.uplink = None
+        self.uplink_port = -1
         #: Injection-site name: "pcie.down" / "pcie.up".
         self.fault_site = f"pcie.{name}"
         self.tlps_dropped = 0
@@ -211,8 +215,13 @@ class LinkDirection(Component):
         self.sim.schedule(tx_time, self._tx_done, tlp, delivered)
 
     def _tx_done(self, tlp: Tlp, delivered: Optional[Event]) -> None:
-        # Last byte left the transmitter; arrival after propagation.
-        self.sim.schedule(self._prop_time, self._arrive, tlp, delivered)
+        # Last byte left the transmitter; arrival after propagation --
+        # unless a switch uplink sits in between (store-and-forward:
+        # the TLP still contends for the shared upstream link).
+        if self.uplink is not None:
+            self.uplink.forward(self, tlp, delivered)
+        else:
+            self.sim.schedule(self._prop_time, self._arrive, tlp, delivered)
         if self._queue:
             self._transmit_next()
         else:

@@ -1,0 +1,34 @@
+"""Fairness metrics for multi-tenant sweeps.
+
+Jain's fairness index (Jain, Chiu, Hawe 1984) over per-tenant
+allocations x_1..x_n:
+
+    J = (sum x_i)^2 / (n * sum x_i^2)
+
+J = 1 when every tenant gets the same share; J = 1/n when one tenant
+gets everything.  It is scale-free (doubling every allocation leaves J
+unchanged), which is what lets E-M1 compare fairness across load
+points with different aggregate goodput.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index of *values*.
+
+    Degenerate inputs take the convention that makes verdict logic
+    simple: an empty set or an all-zero set (nobody got anything --
+    equally unfair to everyone) is perfectly fair, 1.0.  A single
+    tenant is trivially fair, 1.0.
+    """
+    n = len(values)
+    if n == 0:
+        return 1.0
+    total = float(sum(values))
+    squares = float(sum(value * value for value in values))
+    if squares == 0.0:
+        return 1.0
+    return (total * total) / (n * squares)

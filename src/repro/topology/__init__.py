@@ -1,0 +1,28 @@
+"""Fleet topology subsystem: declarative machine specs and the builder.
+
+See :mod:`repro.topology.spec` for the spec layer,
+:mod:`repro.topology.builder` for construction, and
+:mod:`repro.topology.experiments` for the E-M1 tenant-fleet sweep.
+"""
+
+from repro.topology.spec import (
+    ARBITER_POLICIES,
+    ARBITER_ROUND_ROBIN,
+    ARBITER_WEIGHTED,
+    DEVICE_KINDS,
+    DeviceSpec,
+    FunctionSpec,
+    TopologyError,
+    TopologySpec,
+)
+
+__all__ = [
+    "ARBITER_POLICIES",
+    "ARBITER_ROUND_ROBIN",
+    "ARBITER_WEIGHTED",
+    "DEVICE_KINDS",
+    "DeviceSpec",
+    "FunctionSpec",
+    "TopologyError",
+    "TopologySpec",
+]

@@ -62,10 +62,17 @@ VIRTIO_NET_F_HOST_TSO4 = 11
 VIRTIO_NET_F_MRG_RXBUF = 15
 VIRTIO_NET_F_STATUS = 16
 VIRTIO_NET_F_CTRL_VQ = 17
+VIRTIO_NET_F_MQ = 22
 VIRTIO_NET_F_HASH_REPORT = 57
 
 #: net config "status" field bits.
 VIRTIO_NET_S_LINK_UP = 1
+
+#: control-queue multiqueue class/commands (VirtIO 1.2 section 5.1.6.5.5).
+VIRTIO_NET_CTRL_MQ = 4
+VIRTIO_NET_CTRL_MQ_VQ_PAIRS_SET = 0
+VIRTIO_NET_CTRL_MQ_VQ_PAIRS_MIN = 1
+VIRTIO_NET_CTRL_MQ_VQ_PAIRS_MAX = 0x8000
 
 # -- block device feature bits ------------------------------------------------------------------
 

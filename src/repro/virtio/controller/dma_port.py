@@ -61,10 +61,24 @@ class ControllerDmaPort(Component):
         self._read_slot = 0
         self._write_slot = 0
         self._host_read_event_name = f"{self.path}.host_read"
+        self._host_write_event_name = f"{self.path}.host_write"
         self.reads_issued = 0
         self.writes_issued = 0
         self.bytes_read = 0
         self.bytes_written = 0
+        #: Shared-bandwidth arbiter for SR-IOV functions (None on
+        #: single-function devices -- the default path is untouched).
+        self.arbiter = None
+        self._arbiter_port = -1
+
+    def attach_arbiter(self, arbiter, weight: int = 1) -> None:
+        """Route this port's transfers through a shared
+        :class:`~repro.virtio.controller.arbiter.DmaBandwidthArbiter`
+        (one per physical SR-IOV device)."""
+        if self.arbiter is not None:
+            raise RuntimeError(f"{self.path}: arbiter already attached")
+        self.arbiter = arbiter
+        self._arbiter_port = arbiter.register(weight)
 
     def _read_slot_addr(self) -> int:
         addr = self.staging_base + self._read_slot * STAGING_SLOT_SIZE
@@ -86,14 +100,21 @@ class ControllerDmaPort(Component):
         self.reads_issued += 1
         self.bytes_read += length
         result = Event(name=self._host_read_event_name)
-        done = self.xdma.h2c[0].submit_bypass(desc)
 
         def _collect(_ev: Event) -> None:
             # AXI offset: the staging slot address is within the BRAM
             # region mapped at AXI base 0 by the device builder.
             result.trigger(self.bram.read(slot, length))
 
-        done.on_trigger(_collect)
+        if self.arbiter is None:
+            self.xdma.h2c[0].submit_bypass(desc).on_trigger(_collect)
+        else:
+            def _start() -> Event:
+                done = self.xdma.h2c[0].submit_bypass(desc)
+                done.on_trigger(_collect)
+                return done
+
+            self.arbiter.submit(self._arbiter_port, _start)
         self.trace("host-read", addr=addr, length=length)
         return result
 
@@ -107,7 +128,17 @@ class ControllerDmaPort(Component):
         self.writes_issued += 1
         self.bytes_written += len(data)
         self.trace("host-write", addr=addr, length=len(data))
-        return self.xdma.c2h[0].submit_bypass(desc)
+        if self.arbiter is None:
+            return self.xdma.c2h[0].submit_bypass(desc)
+        result = Event(name=self._host_write_event_name)
+
+        def _start() -> Event:
+            done = self.xdma.c2h[0].submit_bypass(desc)
+            done.on_trigger(lambda event: result.trigger(event.value))
+            return done
+
+        self.arbiter.submit(self._arbiter_port, _start)
+        return result
 
     @property
     def stats(self) -> dict:

@@ -31,12 +31,16 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Generator
 
 from repro.fpga.user_logic import UserLogic
+from repro.host.netstack.rss import steer
 from repro.virtio.constants import (
     VIRTIO_F_VERSION_1,
+    VIRTIO_NET_CTRL_MQ,
+    VIRTIO_NET_CTRL_MQ_VQ_PAIRS_SET,
     VIRTIO_NET_F_CSUM,
     VIRTIO_NET_F_CTRL_VQ,
     VIRTIO_NET_F_GUEST_CSUM,
     VIRTIO_NET_F_MAC,
+    VIRTIO_NET_F_MQ,
     VIRTIO_NET_F_MTU,
     VIRTIO_NET_F_STATUS,
     VIRTIO_NET_S_LINK_UP,
@@ -58,6 +62,17 @@ RECEIVEQ = 0
 TRANSMITQ = 1
 CTRLQ = 2
 
+
+def rx_queue_index(pair: int) -> int:
+    """Queue index of pair *pair*'s receiveq (5.1.2: receiveq1 = 0,
+    receiveq2 = 2, ... receiveqN = 2(N-1))."""
+    return 2 * pair
+
+
+def tx_queue_index(pair: int) -> int:
+    """Queue index of pair *pair*'s transmitq (transmitqN = 2N-1)."""
+    return 2 * pair + 1
+
 #: PCI class: network / ethernet controller.
 NET_CLASS_CODE = 0x020000
 
@@ -75,19 +90,33 @@ class VirtioNetPersonality(DevicePersonality):
         mtu: int = 1500,
         offer_csum: bool = True,
         offer_ctrl_vq: bool = False,
+        queue_pairs: int = 1,
     ) -> None:
         super().__init__()
         if len(mac) != 6:
             raise ValueError("MAC must be 6 bytes")
+        if queue_pairs < 1:
+            raise ValueError(f"queue_pairs must be >= 1, got {queue_pairs}")
+        if queue_pairs > 1 and not offer_ctrl_vq:
+            # 5.1.3.1: VIRTIO_NET_F_MQ requires VIRTIO_NET_F_CTRL_VQ
+            # (pairs are enabled through VIRTIO_NET_CTRL_MQ_VQ_PAIRS_SET).
+            raise ValueError("queue_pairs > 1 requires offer_ctrl_vq")
         self.user_logic = user_logic
         self.mac = bytes(mac)
         self.mtu = mtu
         self.offer_csum = offer_csum
         self.offer_ctrl_vq = offer_ctrl_vq
-        self.num_queues = 3 if offer_ctrl_vq else 2
+        self.queue_pairs = queue_pairs
+        self.ctrl_queue_index = 2 * queue_pairs if offer_ctrl_vq else -1
+        self.num_queues = 2 * queue_pairs + (1 if offer_ctrl_vq else 0)
+        #: Pairs the driver has enabled (5.1.6.5.5: a device uses only
+        #: pair 0 until the driver sends VQ_PAIRS_SET).
+        self.active_queue_pairs = 1
         self.frames_from_host = 0
         self.frames_to_host = 0
         self.csum_offloads = 0
+        #: frames steered to each RX queue pair (RSS evidence).
+        self.rx_steered = [0] * queue_pairs
         #: RX-mode state driven by the control queue.
         self.promiscuous = False
         self.allmulti = False
@@ -95,11 +124,9 @@ class VirtioNetPersonality(DevicePersonality):
     # -- identity -----------------------------------------------------------------
 
     def queue_role(self, index: int) -> QueueRole:
-        if index == RECEIVEQ:
-            return QueueRole.IN
-        if index == TRANSMITQ:
-            return QueueRole.OUT
-        if index == CTRLQ and self.offer_ctrl_vq:
+        if 0 <= index < 2 * self.queue_pairs:
+            return QueueRole.IN if index % 2 == 0 else QueueRole.OUT
+        if index == self.ctrl_queue_index:
             return QueueRole.REQUEST
         raise IndexError(f"virtio-net has no queue {index}")
 
@@ -115,6 +142,8 @@ class VirtioNetPersonality(DevicePersonality):
             features = features.with_bit(VIRTIO_NET_F_CSUM)
         if self.offer_ctrl_vq:
             features = features.with_bit(VIRTIO_NET_F_CTRL_VQ)
+        if self.queue_pairs > 1:
+            features = features.with_bit(VIRTIO_NET_F_MQ)
         return features
 
     def device_config_bytes(self) -> bytes:
@@ -123,9 +152,14 @@ class VirtioNetPersonality(DevicePersonality):
         blob = bytearray(12)
         blob[0:6] = self.mac
         blob[6:8] = VIRTIO_NET_S_LINK_UP.to_bytes(2, "little")
-        blob[8:10] = (1).to_bytes(2, "little")
+        blob[8:10] = self.queue_pairs.to_bytes(2, "little")
         blob[10:12] = self.mtu.to_bytes(2, "little")
         return bytes(blob)
+
+    def on_reset(self) -> None:
+        """5.1.6.5.5: after reset the device uses only queue pair 0
+        until the driver re-enables more."""
+        self.active_queue_pairs = 1
 
     # -- TX path -------------------------------------------------------------------------
 
@@ -135,13 +169,14 @@ class VirtioNetPersonality(DevicePersonality):
         notification is received", Section IV-B)."""
         device = self.device
         assert device is not None
-        if queue_index == TRANSMITQ and not device.perf.is_running("virtio_h2c"):
+        is_tx = queue_index % 2 == 1 and queue_index < 2 * self.queue_pairs
+        if is_tx and not device.perf.is_running("virtio_h2c"):
             device.perf.start("virtio_h2c")
 
     def on_out_chain(self, queue_index: int, chain: FetchedChain) -> Generator[Any, Any, None]:
         device = self.device
         assert device is not None
-        if queue_index == CTRLQ:
+        if queue_index == self.ctrl_queue_index:
             return  # control commands complete with no data work
         self.frames_from_host += 1
         header, frame = strip_header(chain.out_data)
@@ -157,9 +192,15 @@ class VirtioNetPersonality(DevicePersonality):
         # hardware section ends here.
         if device.perf.is_running("virtio_h2c"):
             device.perf.stop("virtio_h2c")
-        device.perf.start("virtio_resp")
+        # With several TX engines the counters time the *first* in-flight
+        # frame of an overlap (single-queue behaviour is unchanged: no
+        # overlap is possible there, so every frame is timed).
+        timing = not device.perf.is_running("virtio_resp")
+        if timing:
+            device.perf.start("virtio_resp")
         response = yield from self.user_logic.handle_frame(frame)
-        device.perf.stop("virtio_resp")
+        if timing:
+            device.perf.stop("virtio_resp")
         if response is not None:
             # Response delivery runs as its own FSM so TX completion is
             # not serialized behind it (separate pipeline stages in RTL).
@@ -168,7 +209,15 @@ class VirtioNetPersonality(DevicePersonality):
     def _deliver(self, frame: bytes) -> Generator[Any, Any, None]:
         device = self.device
         assert device is not None
-        rx_engine = device.engines.get(RECEIVEQ)
+        if self.active_queue_pairs > 1:
+            # RSS: hash the flow tuple to pick the RX queue, so each
+            # flow stays on one pair (the driver hashes identically on
+            # its TX side).
+            pair = steer(frame, self.active_queue_pairs)
+        else:
+            pair = 0
+        self.rx_steered[pair] += 1
+        rx_engine = device.engines.get(rx_queue_index(pair))
         if rx_engine is None:
             return
         accepted = device.accepted_features
@@ -176,9 +225,12 @@ class VirtioNetPersonality(DevicePersonality):
         if accepted.has(VIRTIO_NET_F_GUEST_CSUM):
             flags |= VIRTIO_NET_HDR_F_DATA_VALID
         buffer = prepend_header(frame, VirtioNetHeader(flags=flags, num_buffers=1))
-        device.perf.start("virtio_c2h")
+        timing = not device.perf.is_running("virtio_c2h")
+        if timing:
+            device.perf.start("virtio_c2h")
         yield from rx_engine.deliver(buffer)
-        device.perf.stop("virtio_c2h")
+        if timing:
+            device.perf.stop("virtio_c2h")
         self.frames_to_host += 1
 
     # -- control queue -----------------------------------------------------------------------
@@ -206,6 +258,17 @@ class VirtioNetPersonality(DevicePersonality):
             return bytes([self.CTRL_ACK_OK])
         if cls == self.CTRL_RX and cmd == self.CTRL_RX_ALLMULTI and len(command) >= 3:
             self.allmulti = bool(command[2])
+            return bytes([self.CTRL_ACK_OK])
+        if (
+            cls == VIRTIO_NET_CTRL_MQ
+            and cmd == VIRTIO_NET_CTRL_MQ_VQ_PAIRS_SET
+            and len(command) >= 4
+        ):
+            pairs = int.from_bytes(command[2:4], "little")
+            if not 1 <= pairs <= self.queue_pairs:
+                return bytes([self.CTRL_ACK_ERR])
+            self.active_queue_pairs = pairs
+            device.trace("ctrl-mq", pairs=pairs)
             return bytes([self.CTRL_ACK_OK])
         return bytes([self.CTRL_ACK_ERR])
 

@@ -175,11 +175,7 @@ def _harvest_virtio_hops(testbed: "VirtioTestbed", sockets,
     if netdev is not None:
         for reason, count in netdev.tx_dropped.items():
             monitor.note_hop_drops(f"netdev_tx:{reason}", count)
-    from repro.drivers.virtio_net import TRANSMITQ
-
-    monitor.note_hop_drops(
-        "virtqueue_depth", testbed.driver.transport.queue(TRANSMITQ).depth_rejects
-    )
+    monitor.note_hop_drops("virtqueue_depth", testbed.driver.tx_depth_rejects())
 
 
 class OpenLoopGenerator:

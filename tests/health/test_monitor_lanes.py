@@ -1,0 +1,76 @@
+"""Per-lane sub-ledgers on the conservation monitor."""
+
+from __future__ import annotations
+
+from repro.health.monitor import ConservationMonitor
+
+
+class TestUnlanedRuns:
+    def test_no_lanes_key_in_dict(self):
+        monitor = ConservationMonitor(driver="virtio", mode="seq")
+        monitor.admit(0)
+        monitor.deliver(0)
+        report = monitor.finalize()
+        assert report.conserved
+        assert report.lanes == {}
+        assert "lanes" not in report.as_dict()
+
+
+class TestLaneAttribution:
+    def test_counters_track_transitions(self):
+        monitor = ConservationMonitor(driver="virtio", mode="seq")
+        monitor.admit(0, lane="dev0/vf0/q0")
+        monitor.admit(1, lane="dev0/vf0/q0")
+        monitor.admit(2, lane="dev0/vf1/q1")
+        monitor.deliver(0)
+        monitor.drop(1, "txq_full")  # lane remembered from admit
+        monitor.deliver(2)
+        report = monitor.finalize()
+        assert report.conserved
+        assert report.lanes["dev0/vf0/q0"] == {
+            "offered": 2, "admitted": 2, "delivered": 1, "dropped": 1,
+        }
+        assert report.lanes["dev0/vf1/q1"] == {
+            "offered": 1, "admitted": 1, "delivered": 1, "dropped": 0,
+        }
+
+    def test_lane_sums_match_totals(self):
+        monitor = ConservationMonitor()
+        for seq in range(6):
+            monitor.admit(seq, lane=f"q{seq % 2}")
+        for seq in range(4):
+            monitor.deliver(seq)
+        monitor.drop(4, "retries_exhausted")
+        monitor.drop(5, "retries_exhausted")
+        report = monitor.finalize()
+        for key, total in (("offered", report.offered),
+                           ("delivered", report.delivered),
+                           ("dropped", report.dropped)):
+            assert sum(c[key] for c in report.lanes.values()) == total
+
+    def test_pre_admission_drop_counts_lane_offered(self):
+        monitor = ConservationMonitor()
+        monitor.drop(0, "admission_limit", lane="dev0/vf0/q1")
+        report = monitor.finalize()
+        assert report.conserved
+        assert report.lanes["dev0/vf0/q1"] == {
+            "offered": 1, "admitted": 0, "delivered": 0, "dropped": 1,
+        }
+
+    def test_in_flight_loss_attributed_to_lane(self):
+        monitor = ConservationMonitor()
+        monitor.admit(0, lane="dev1/vf0/q0")
+        monitor.note_hop_drops("socket_rx", 1)  # the hop owns the loss
+        report = monitor.finalize()
+        assert report.conserved
+        assert report.drop_reasons == {"hop:in_flight_lost": 1}
+        assert report.lanes["dev1/vf0/q0"]["dropped"] == 1
+
+    def test_lanes_sorted_in_dict(self):
+        monitor = ConservationMonitor()
+        monitor.admit(0, lane="q1")
+        monitor.admit(1, lane="q0")
+        monitor.deliver(0)
+        monitor.deliver(1)
+        out = monitor.finalize().as_dict()
+        assert list(out["lanes"]) == ["q0", "q1"]

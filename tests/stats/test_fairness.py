@@ -1,0 +1,50 @@
+"""Jain's fairness index: conventions, bounds, invariances."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.stats.fairness import jain_index
+
+
+class TestConventions:
+    def test_empty_is_perfectly_fair(self):
+        assert jain_index([]) == 1.0
+
+    def test_single_tenant_is_trivially_fair(self):
+        assert jain_index([42.0]) == 1.0
+
+    def test_single_starved_tenant_is_fair_by_convention(self):
+        assert jain_index([0.0]) == 1.0
+
+    def test_all_zero_is_fair_by_convention(self):
+        assert jain_index([0.0, 0.0, 0.0]) == 1.0
+
+
+class TestValues:
+    def test_equal_shares_hit_one(self):
+        assert jain_index([3.5] * 8) == pytest.approx(1.0)
+
+    def test_one_tenant_takes_everything(self):
+        # J = 1/n when a single tenant monopolizes the allocation.
+        assert jain_index([10.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_known_midpoint(self):
+        # (1+2+3)^2 / (3 * (1+4+9)) = 36/42.
+        assert jain_index([1.0, 2.0, 3.0]) == pytest.approx(36.0 / 42.0)
+
+
+class TestInvariances:
+    def test_scale_free(self):
+        values = [1.0, 2.0, 5.0, 9.0]
+        scaled = [v * 1000.0 for v in values]
+        assert jain_index(scaled) == pytest.approx(jain_index(values))
+
+    def test_order_free(self):
+        values = [4.0, 1.0, 7.0, 2.0]
+        assert jain_index(sorted(values)) == pytest.approx(jain_index(values))
+
+    def test_bounds(self):
+        for values in ([1.0, 1.0, 1.0], [9.0, 1.0], [5.0, 0.0, 0.0, 1.0]):
+            index = jain_index(values)
+            assert 1.0 / len(values) <= index <= 1.0 + 1e-12

@@ -1,0 +1,86 @@
+"""RSS flow hashing: determinism, parsing, steering."""
+
+from __future__ import annotations
+
+from repro.host.netstack.rss import (
+    fnv1a,
+    flow_hash,
+    parse_udp_flow,
+    steer,
+)
+
+
+def make_udp_frame(src_ip=0x0A000001, dst_ip=0x0A000002,
+                   src_port=49000, dst_port=5201, ethertype=0x0800,
+                   proto=17, payload=b"\x00" * 16) -> bytes:
+    eth = b"\x52\x54\x00\xfa\xce\x01" + b"\x52\x54\x00\xfa\xce\x02"
+    eth += ethertype.to_bytes(2, "big")
+    total_len = 20 + 8 + len(payload)
+    ip = bytes([0x45, 0]) + total_len.to_bytes(2, "big")
+    ip += b"\x00\x00\x00\x00" + bytes([64, proto]) + b"\x00\x00"
+    ip += src_ip.to_bytes(4, "big") + dst_ip.to_bytes(4, "big")
+    udp = src_port.to_bytes(2, "big") + dst_port.to_bytes(2, "big")
+    udp += (8 + len(payload)).to_bytes(2, "big") + b"\x00\x00"
+    return eth + ip + udp + payload
+
+
+class TestFnv1a:
+    def test_known_vectors(self):
+        # Reference values of 32-bit FNV-1a.
+        assert fnv1a(b"") == 0x811C9DC5
+        assert fnv1a(b"a") == 0xE40C292C
+        assert fnv1a(b"foobar") == 0xBF9CF968
+
+    def test_deterministic(self):
+        assert fnv1a(b"abc") == fnv1a(b"abc")
+
+
+class TestFlowHash:
+    def test_deterministic_across_calls(self):
+        args = (0x0A000001, 0x0A000002, 49000, 5201)
+        assert flow_hash(*args) == flow_hash(*args)
+
+    def test_distinct_ports_mix(self):
+        base = (0x0A000001, 0x0A000002)
+        hashes = {flow_hash(*base, port, 5201) for port in range(49000, 49064)}
+        # 64 flows should not collapse onto a handful of hash values.
+        assert len(hashes) == 64
+
+
+class TestParse:
+    def test_parses_udp_frame(self):
+        frame = make_udp_frame()
+        assert parse_udp_flow(frame) == (0x0A000001, 0x0A000002, 49000, 5201)
+
+    def test_rejects_non_ipv4(self):
+        assert parse_udp_flow(make_udp_frame(ethertype=0x0806)) is None
+
+    def test_rejects_non_udp(self):
+        assert parse_udp_flow(make_udp_frame(proto=6)) is None
+
+    def test_rejects_truncated(self):
+        assert parse_udp_flow(make_udp_frame()[:30]) is None
+
+
+class TestSteer:
+    def test_single_pair_always_zero(self):
+        assert steer(make_udp_frame(), 1) == 0
+
+    def test_non_udp_falls_back_to_zero(self):
+        assert steer(make_udp_frame(proto=6), 4) == 0
+
+    def test_deterministic(self):
+        frame = make_udp_frame(src_port=49007)
+        assert steer(frame, 4) == steer(frame, 4)
+
+    def test_matches_flow_hash_reduction(self):
+        frame = make_udp_frame(src_port=49031)
+        expected = flow_hash(0x0A000001, 0x0A000002, 49031, 5201) % 4
+        assert steer(frame, 4) == expected
+
+    def test_spreads_flows_across_pairs(self):
+        pairs = {
+            steer(make_udp_frame(src_port=port), 4)
+            for port in range(49000, 49064)
+        }
+        assert pairs == {0, 1, 2, 3}

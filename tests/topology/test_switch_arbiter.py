@@ -1,0 +1,143 @@
+"""PCIe switch fan-out and SR-IOV DMA-bandwidth arbitration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.calibration import TEST_DST_PORT
+from repro.sim.event import Event
+from repro.sim.kernel import Simulator
+from repro.topology.builder import build_from_spec
+from repro.topology.spec import DeviceSpec, FunctionSpec, TopologySpec
+from repro.virtio.controller.arbiter import DmaBandwidthArbiter
+
+
+def echo_all(testbed, packets=4):
+    """Ping-pong *packets* echoes through every function."""
+    for i, function in enumerate(testbed.functions):
+        socket = testbed.open_socket(49100 + i)
+
+        def pingpong():
+            for _ in range(packets):
+                yield from socket.sendto(b"\x01" * 64, function.fpga_ip,
+                                         TEST_DST_PORT)
+                yield from socket.recvfrom()
+            socket.close()
+
+        done = testbed.sim.spawn(pingpong(), name=f"echo{i}")
+        testbed.sim.run_until_triggered(done)
+    testbed.sim.run()
+
+
+class TestSwitch:
+    def test_forwards_all_upstream_traffic(self):
+        spec = TopologySpec(devices=(DeviceSpec(), DeviceSpec()), switch=True)
+        testbed = build_from_spec(spec, seed=21)
+        echo_all(testbed)
+        switch = testbed.switch
+        assert switch is not None
+        assert switch.num_ports == 2
+        stats = switch.stats
+        assert stats["tlps_forwarded"] > 0
+        assert stats["port0_tlps"] > 0
+        assert stats["port1_tlps"] > 0
+        assert stats["port0_tlps"] + stats["port1_tlps"] == stats["tlps_forwarded"]
+
+    def test_equal_load_forwards_fairly(self):
+        spec = TopologySpec(devices=(DeviceSpec(), DeviceSpec()), switch=True)
+        testbed = build_from_spec(spec, seed=22)
+        echo_all(testbed, packets=8)
+        stats = testbed.switch.stats
+        low, high = sorted([stats["port0_tlps"], stats["port1_tlps"]])
+        assert high - low <= 0.1 * high  # near-equal shares
+
+
+class TestArbiterUnit:
+    """Direct unit tests: thunks return completion events we trigger by
+    hand, so grant order is observable synchronously."""
+
+    def make(self, policy, weights):
+        sim = Simulator(seed=1)
+        arbiter = DmaBandwidthArbiter(sim, policy=policy)
+        ports = [arbiter.register(weight) for weight in weights]
+        return arbiter, ports
+
+    def submit_n(self, arbiter, port, order, dones, n):
+        for _ in range(n):
+            def start(port=port):
+                done = Event(name=f"done{port}")
+                order.append(port)
+                dones.append(done)
+                return done
+            arbiter.submit(port, start)
+
+    def test_rejects_unknown_policy(self):
+        sim = Simulator(seed=1)
+        with pytest.raises(ValueError):
+            DmaBandwidthArbiter(sim, policy="lottery")
+
+    def test_rejects_zero_weight(self):
+        arbiter, _ = self.make("rr", [1])
+        with pytest.raises(ValueError):
+            arbiter.register(0)
+
+    def test_round_robin_alternates(self):
+        arbiter, (a, b) = self.make("rr", [1, 1])
+        order, dones = [], []
+        # The very first submit grants immediately; everything queued
+        # after it contends, and releases alternate ports.
+        self.submit_n(arbiter, a, order, dones, 3)
+        self.submit_n(arbiter, b, order, dones, 3)
+        while len(order) < 6:
+            dones.pop(0).trigger(None)
+        assert order == [a, b, a, b, a, b]
+        assert arbiter.grants == [3, 3]
+
+    def test_weighted_burst_follows_credit(self):
+        arbiter, (a, b) = self.make("weighted", [3, 1])
+        order, dones = [], []
+        # Occupy the mover with a dummy transfer so the real work all
+        # queues up before any pick happens.
+        self.submit_n(arbiter, a, order, dones, 1)
+        self.submit_n(arbiter, a, order, dones, 6)
+        self.submit_n(arbiter, b, order, dones, 2)
+        while len(order) < 9:
+            dones.pop(0).trigger(None)
+        assert arbiter.grants == [7, 2]
+        contended = order[1:]
+        # b was next in line after the dummy; a then bursts up to its
+        # weight of 3 consecutive grants per visit.
+        assert contended[0] == b
+        runs = max(
+            len(run)
+            for run in "".join("a" if p == a else "b" for p in contended).split("b")
+        )
+        assert runs == 3
+
+    def test_uncontended_grant_is_immediate(self):
+        arbiter, (a,) = self.make("rr", [1])
+        order, dones = [], []
+        self.submit_n(arbiter, a, order, dones, 1)
+        assert order == [a]  # started inside submit, no waiting
+
+
+class TestArbiterIntegration:
+    def test_sriov_functions_share_via_arbiter(self):
+        spec = TopologySpec(
+            devices=(
+                DeviceSpec(functions=(FunctionSpec(), FunctionSpec())),
+            ),
+        )
+        testbed = build_from_spec(spec, seed=23)
+        assert len(testbed.arbiters) == 1
+        echo_all(testbed)
+        stats = testbed.arbiters[0].stats
+        assert stats["vf0_grants"] > 0
+        assert stats["vf1_grants"] > 0
+
+    def test_plain_device_has_no_arbiter(self):
+        spec = TopologySpec(devices=(DeviceSpec(), DeviceSpec()), switch=True)
+        testbed = build_from_spec(spec, seed=24)
+        assert testbed.arbiters == []
+        for function in testbed.functions:
+            assert function.device.dma_port.arbiter is None
