@@ -291,6 +291,15 @@ def _parser() -> argparse.ArgumentParser:
         "cpu-score normalization (default: 0.15; copy counts are gated "
         "exactly regardless)",
     )
+    gate.add_argument(
+        "--profile",
+        action="store_true",
+        dest="profile_hot",
+        help="run the serial bench leg under cProfile and write the "
+        "top-30 cumulative table next to the record as "
+        "BENCH_<rev>.profile.txt (record mode only; the profiled wall "
+        "is not baseline material)",
+    )
     return parser
 
 
@@ -328,6 +337,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--tenant-rate must be positive (packets/s)")
     if args.check and args.artifact != "bench":
         parser.error("--check is a bench option")
+    if args.profile_hot and (args.artifact != "bench" or args.check):
+        parser.error("--profile is a bench record-mode option")
     if args.tolerance is not None and not 0.0 < args.tolerance < 1.0:
         parser.error("--tolerance must be a fraction in (0, 1)")
 
@@ -371,7 +382,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.payloads if args.payloads is not None else list(PAPER_PAYLOAD_SIZES)
         )
         record, path = run_bench(
-            packets=packets, jobs=jobs, payload_sizes=payloads, seed=args.seed
+            packets=packets, jobs=jobs, payload_sizes=payloads, seed=args.seed,
+            profile_hot=args.profile_hot,
         )
         if args.json:
             print(json.dumps(record, indent=2))

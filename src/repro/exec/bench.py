@@ -259,6 +259,38 @@ def bench_virtqueue_walk(iters: int = 4000) -> Dict[str, Any]:
     }
 
 
+def bench_scheduler(
+    payload: int = 64,
+    packets: int = 200,
+    seed: int = 0,
+    profile: CalibrationProfile = PAPER_PROFILE,
+) -> Dict[str, Any]:
+    """Event-kernel statistics over one serial latency cell.
+
+    Boots a VirtIO testbed (the denser of the two drivers' event
+    streams), runs the Table 1 ping-pong workload, and reports the
+    queue backend's counters -- peak depth, calendar bucket occupancy,
+    slow-path push rates -- plus wall-normalized schedule/pop rates.
+    The structural numbers (peak depth, far-heap pushes) are
+    deterministic; only the rates are machine-dependent.
+    """
+    from repro.core.latency import run_virtio_payload
+    from repro.core.testbed import build_virtio_testbed
+
+    testbed = build_virtio_testbed(seed=seed, profile=profile)
+    t0 = time.perf_counter()
+    run_virtio_payload(testbed, payload, packets)
+    elapsed = time.perf_counter() - t0
+    stats = dict(testbed.sim.scheduler_stats)
+    stats["payload_bytes"] = payload
+    stats["packets"] = packets
+    stats["wall_s"] = elapsed
+    if elapsed > 0:
+        stats["schedules_per_second"] = stats.get("schedules", 0) / elapsed
+        stats["pops_per_second"] = stats.get("executed", 0) / elapsed
+    return stats
+
+
 def run_microbench(
     packets: int = 400,
     payload_sizes: Sequence[int] = PAPER_PAYLOAD_SIZES,
@@ -285,6 +317,7 @@ def run_microbench(
         "copy_counts": bench_copy_counts(seed=seed, profile=profile),
         "tlp_segmentation": bench_tlp_segmentation(),
         "virtqueue_walk": bench_virtqueue_walk(),
+        "scheduler": bench_scheduler(seed=seed, profile=profile),
         "end_to_end": end_to_end,
     }
 
@@ -300,16 +333,31 @@ def run_bench(
     profile: CalibrationProfile = PAPER_PROFILE,
     out_dir: str = ".",
     rev: Optional[str] = None,
+    profile_hot: bool = False,
 ) -> Tuple[dict, str]:
     """Time serial vs parallel reproduction; write ``BENCH_<rev>.json``.
+
+    With *profile_hot* the serial run executes under :mod:`cProfile`
+    and the top-30 cumulative-time table is written next to the record
+    as ``BENCH_<rev>.profile.txt`` (the serial wall then includes
+    profiler overhead, so such records are for hot-spot hunting, not
+    for committing as baselines).
 
     Returns ``(record, path)``.
     """
     if jobs < 2:
         raise ValueError(f"bench compares serial vs parallel; need jobs >= 2, got {jobs}")
+    profiler = None
+    if profile_hot:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     serial_comparison, serial_stats = execute_comparison(
         payload_sizes, packets, seed, profile, jobs=1
     )
+    if profiler is not None:
+        profiler.disable()
     parallel_comparison, parallel_stats = execute_comparison(
         payload_sizes, packets, seed, profile, jobs=jobs
     )
@@ -357,6 +405,21 @@ def run_bench(
         "micro": micro,
     }
     path = os.path.join(out_dir, f"BENCH_{record['rev']}.json")
+    if profiler is not None:
+        import io
+        import pstats
+
+        buffer = io.StringIO()
+        stats = pstats.Stats(profiler, stream=buffer)
+        stats.sort_stats("cumulative").print_stats(30)
+        profile_path = os.path.join(out_dir, f"BENCH_{record['rev']}.profile.txt")
+        with open(profile_path, "w", encoding="utf-8") as handle:
+            handle.write(
+                f"# cProfile of the serial (jobs=1) bench run @ {record['rev']}\n"
+                f"# workload: {packets} packets x {list(payload_sizes)} x 2 drivers\n"
+            )
+            handle.write(buffer.getvalue())
+        record["profile_path"] = profile_path
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(record, handle, indent=2)
         handle.write("\n")
@@ -396,6 +459,19 @@ def render_bench(record: dict) -> str:
             f"    vq walk     {micro['virtqueue_walk']['cycles_per_second']:,.0f} cycles/s",
             f"    cpu score   {micro['cpu_score']:,.0f} ref-ops/s",
         ]
+        sched = micro.get("scheduler")
+        if sched:
+            lines.append(
+                f"    scheduler   {sched.get('scheduler', '?')}: "
+                f"peak depth {sched.get('peak_depth', 0)}, "
+                f"{sched.get('nonempty_buckets', 0)}/{sched.get('nbuckets', 0)} "
+                f"buckets live (occupancy {sched.get('occupancy', 0.0):.1f}), "
+                f"far pushes {sched.get('far_pushes', 0)}, "
+                f"{sched.get('schedules_per_second', 0.0):,.0f} sched/s | "
+                f"{sched.get('pops_per_second', 0.0):,.0f} pops/s"
+            )
+    if record.get("profile_path"):
+        lines.append(f"  profile: top-30 cumulative written to {record['profile_path']}")
     return "\n".join(lines)
 
 
@@ -417,7 +493,12 @@ def evaluate_check(
       one, raw comparison otherwise);
     * any driver's materializing ``read`` copies per packet above the
       baseline count fails -- the count is deterministic, so there is
-      no noise to tolerate.
+      no noise to tolerate;
+    * when *current* carries a ``parallel`` section
+      (``{"jobs", "speedup", "cpus"}``), a speedup at or below 1.0
+      fails **if** the host has at least ``jobs`` CPUs -- warm-pool
+      fan-out must actually beat the serial path on real multi-core
+      hardware, while 1-vCPU runners skip the assertion.
     """
     if not 0.0 < tolerance < 1.0:
         raise ValueError(f"tolerance must be in (0, 1), got {tolerance}")
@@ -443,6 +524,15 @@ def evaluate_check(
             f"({'normalized' if normalized else 'raw'}; "
             f"floor is {1.0 - tolerance:.2f}x)"
         )
+    parallel = current.get("parallel")
+    if parallel:
+        cpus = parallel.get("cpus") or 0
+        par_jobs = parallel.get("jobs") or 0
+        if cpus >= par_jobs > 1 and parallel["speedup"] <= 1.0:
+            failures.append(
+                f"jobs={par_jobs} speedup is {parallel['speedup']:.2f}x on a "
+                f"{cpus}-CPU host (must exceed 1.0x)"
+            )
     base_copies = base_micro.get("copy_counts", {})
     cur_copies = current.get("copy_counts", {})
     for driver in sorted(base_copies.keys() & cur_copies.keys()):
@@ -485,7 +575,10 @@ def run_check(
     The workload (packets, payload sizes, seed) is taken from the
     baseline record so the comparison is apples-to-apples; *packets*
     and *seed* override it (events/second is a throughput, so a
-    shorter run stays comparable up to boot overhead).  Returns
+    shorter run stays comparable up to boot overhead).  On hosts with
+    at least 4 CPUs the same workload is also fanned out at ``jobs=4``
+    and the speedup must exceed 1.0x (skipped on smaller hosts, where
+    a process pool cannot beat the serial path).  Returns
     ``(ok, report)``.
     """
     with open(baseline_path, "r", encoding="utf-8") as handle:
@@ -504,6 +597,19 @@ def run_check(
             "events_per_second": stats.events_per_second,
         },
     }
+    cpus = os.cpu_count() or 1
+    if cpus >= 4:
+        _, par_stats = execute_comparison(
+            run_payloads, run_packets, run_seed, profile, jobs=4
+        )
+        current["parallel"] = {
+            "jobs": 4,
+            "cpus": cpus,
+            "wall_s": par_stats.wall_s,
+            "speedup": (
+                stats.wall_s / par_stats.wall_s if par_stats.wall_s > 0 else 0.0
+            ),
+        }
     ok, failures, details = evaluate_check(baseline, current, tolerance)
     report = {
         "schema": "bench-check-v1",
@@ -541,6 +647,12 @@ def render_check(report: dict) -> str:
         lines.append(
             f"  {driver} copies/pkt: {counts['current']:.2f} now vs "
             f"{counts['baseline']:.2f} baseline (exact gate)"
+        )
+    parallel = report.get("current", {}).get("parallel")
+    if parallel:
+        lines.append(
+            f"  jobs={parallel['jobs']} speedup: {parallel['speedup']:.2f}x "
+            f"on {parallel['cpus']} CPUs (must exceed 1.0x)"
         )
     if report["ok"]:
         lines.append("  PASS")

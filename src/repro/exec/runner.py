@@ -17,9 +17,13 @@ free of fork/pickle overhead.
 
 from __future__ import annotations
 
+import atexit
+import gc
 import multiprocessing
+import sys
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -93,7 +97,29 @@ def execute_cell(cell: Cell) -> CellOutcome:
 
     Module-level (picklable) and a pure function of *cell*: the only
     inputs are the cell's parameters and its derived seed.
+
+    Cyclic GC is suspended for the duration of the cell: the model
+    allocates heavily but the testbed graph is alive until the cell
+    ends, so collection passes mid-run only burn time.  Everything the
+    cell built is reclaimed by refcounting (plus the next automatic
+    collection) once it returns.  The GIL switch interval is widened
+    likewise -- cells are single-threaded, so the default 5 ms
+    round-robin checks are pure eval-loop overhead.
     """
+    gc_was_enabled = gc.isenabled()
+    if gc_was_enabled:
+        gc.disable()
+    switch_interval = sys.getswitchinterval()
+    sys.setswitchinterval(0.1)
+    try:
+        return _execute_cell(cell)
+    finally:
+        sys.setswitchinterval(switch_interval)
+        if gc_was_enabled:
+            gc.enable()
+
+
+def _execute_cell(cell: Cell) -> CellOutcome:
     started = time.perf_counter()
     if cell.kind == "fleet":
         # Fleet cells boot their own multi-device testbed from the spec
@@ -202,23 +228,76 @@ def _pool_context():
     return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
 
 
+def _warm_worker() -> None:
+    """Pool-worker initializer: pay the model-import cost once per
+    worker instead of once per cell (a no-op under fork, where imports
+    are inherited; the win is on spawn platforms)."""
+    import repro.core.testbed  # noqa: F401
+    import repro.topology.experiments  # noqa: F401
+
+
+# The warm pool: constructed on the first jobs>1 fan-out and reused by
+# every later one (``execute_load_sweep`` alone performs two fan-outs
+# per call, and the bench harness many more).  Reuse also keeps
+# worker-process caches warm across fan-outs -- imported model modules
+# and the ``lru_cache``-backed TLP segmentation plans survive from cell
+# to cell, which a throwaway executor forfeits.
+_POOL: Optional[ProcessPoolExecutor] = None
+_POOL_WORKERS = 0
+
+
+def _get_pool(workers: int) -> ProcessPoolExecutor:
+    """The shared executor, grown (never shrunk) to *workers*."""
+    global _POOL, _POOL_WORKERS
+    if _POOL is None or _POOL_WORKERS < workers:
+        if _POOL is not None:
+            _POOL.shutdown(wait=True)
+        _POOL = ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=_pool_context(),
+            initializer=_warm_worker,
+        )
+        _POOL_WORKERS = workers
+    return _POOL
+
+
+def shutdown_pool() -> None:
+    """Tear down the warm pool (atexit hook; also used by tests)."""
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None:
+        _POOL.shutdown(wait=True)
+        _POOL = None
+        _POOL_WORKERS = 0
+
+
+atexit.register(shutdown_pool)
+
+
+def _fan_out(pool: ProcessPoolExecutor, cells: Sequence[Cell]) -> List[CellOutcome]:
+    outcomes: List[Optional[CellOutcome]] = [None] * len(cells)
+    futures = {pool.submit(execute_cell, cell): i for i, cell in enumerate(cells)}
+    for future in as_completed(futures):
+        outcomes[futures[future]] = future.result()
+    return outcomes  # type: ignore[return-value]
+
+
 def run_cells(cells: Sequence[Cell], jobs: int = 1) -> List[CellOutcome]:
     """Execute *cells*, returning outcomes in cell order.
 
-    ``jobs=1`` runs in-process; ``jobs>1`` fans out over a process
-    pool.  Either way the returned list is indexed by the cells'
+    ``jobs=1`` runs in-process; ``jobs>1`` fans out over the shared
+    warm pool.  Either way the returned list is indexed by the cells'
     construction order, so downstream merges are order-deterministic.
     """
     jobs = max(1, int(jobs))
     if jobs == 1 or len(cells) <= 1:
         return [execute_cell(cell) for cell in cells]
-    outcomes: List[Optional[CellOutcome]] = [None] * len(cells)
-    workers = min(jobs, len(cells))
-    with ProcessPoolExecutor(max_workers=workers, mp_context=_pool_context()) as pool:
-        futures = {pool.submit(execute_cell, cell): i for i, cell in enumerate(cells)}
-        for future in as_completed(futures):
-            outcomes[futures[future]] = future.result()
-    return outcomes  # type: ignore[return-value]
+    try:
+        return _fan_out(_get_pool(min(jobs, len(cells))), cells)
+    except BrokenProcessPool:
+        # A worker died (OOM kill, signal).  Cells are pure functions of
+        # their parameters, so one retry on a fresh pool is safe.
+        shutdown_pool()
+        return _fan_out(_get_pool(min(jobs, len(cells))), cells)
 
 
 def _stats(outcomes: Sequence[CellOutcome], jobs: int, wall_s: float) -> ExecutionStats:

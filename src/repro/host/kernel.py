@@ -18,7 +18,11 @@ software model uses:
 
 from __future__ import annotations
 
+import math
+import os
 from typing import TYPE_CHECKING, Any, Generator, Optional
+
+import numpy as np
 
 from repro.host.costs import CostModel, default_cost_model
 from repro.host.irq import InterruptController
@@ -32,6 +36,15 @@ from repro.sim.time import SimTime
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.kernel import Simulator
+
+#: Number of random draws pre-computed per refill.  The draw *sequence*
+#: is identical for any block size (NumPy generators produce the same
+#: stream whether drawn one at a time or in blocks), so this is purely a
+#: speed/memory knob.
+_BLOCK = 1024
+
+#: Environment variable forcing the legacy per-draw scalar sampling path.
+SCALAR_RNG_ENV = "REPRO_SIM_SCALAR_RNG"
 
 
 class HostKernel(Component):
@@ -50,6 +63,14 @@ class HostKernel(Component):
         self.rc = rc
         self.memory: PhysicalMemory = rc.host_memory
         self.dma = DmaAllocator(self.memory)
+        # Block-sampling state must exist before the ``costs`` setter
+        # (which classifies the model and may invalidate multipliers).
+        self._z_arr: Optional[np.ndarray] = None  # standard-normal block (cpu stream)
+        self._z_list: list = []
+        self._mults: list = []  # exp(sigma * z) per block entry (fast mode)
+        self._z_i = 0
+        self._us: list = []  # uniform block (interference stream)
+        self._u_i = 0
         self.costs = costs if costs is not None else default_cost_model()  # property: also binds hot-path caches
         self.clock = MonotonicClock(sim)
         self.irqc = InterruptController(sim, self, parent=self)
@@ -78,6 +99,56 @@ class HostKernel(Component):
         self._costs = model
         self._segments = model.segments
         self._interference = model.interference
+        itf = model.interference
+        # Pre-resolved interference constants for the blocked stall path.
+        # ``-1.0 / alpha`` and ``float(scale)`` are the exact values the
+        # scalar ``InterferenceModel._component`` computes per call, so
+        # results stay bit-identical.
+        self._itf_params = (
+            itf.rate_hz,
+            float(itf.stall_scale),
+            -1.0 / itf.stall_alpha,
+            itf.stall_cap,
+            itf.micro_rate_hz,
+            float(itf.micro_scale),
+            -1.0 / itf.micro_alpha,
+            itf.micro_cap,
+        )
+        # Classify the model for block sampling.  Blocks replay the
+        # *identical* draw sequence (``rng.normal(0, s)`` equals
+        # ``s * rng.standard_normal()`` draw-for-draw, and a block
+        # ``np.exp`` equals the scalar one elementwise), so fast/mixed
+        # runs are byte-identical to scalar runs.  Segments with tails
+        # interleave normals and uniforms on the cpu stream, which
+        # blocks cannot reproduce; those models use the scalar path.
+        segments = model.segments.values()
+        if os.environ.get(SCALAR_RNG_ENV) or any(m.tail_prob > 0.0 for m in segments):
+            self._vector_mode = "scalar"
+        else:
+            sigmas = {m.jitter_sigma for m in segments if m.jitter_sigma > 0.0}
+            if len(sigmas) <= 1:
+                self._vector_mode = "fast"
+                self._fast_sigma = sigmas.pop() if sigmas else 0.0
+                if self._z_arr is not None:
+                    # Multipliers depend on sigma: re-derive them from the
+                    # already-drawn normals so the draw sequence is intact
+                    # across a mid-run model swap.
+                    self._mults = np.exp(self._fast_sigma * self._z_arr).tolist()
+            else:
+                self._vector_mode = "mixed"
+
+    def _refill_z(self) -> None:
+        z = self._cpu_rng.standard_normal(_BLOCK)
+        self._z_arr = z
+        self._z_list = z.tolist()
+        if self._vector_mode == "fast":
+            self._mults = np.exp(self._fast_sigma * z).tolist()
+        self._z_i = 0
+
+    def _refill_u(self) -> list:
+        self._us = us = self._interference_rng.random(_BLOCK).tolist()
+        self._u_i = 0
+        return us
 
     def cpu(self, segment: str, extra_ps: SimTime = 0) -> SimTime:
         """Sampled duration of one software segment, to be yielded.
@@ -89,8 +160,66 @@ class HostKernel(Component):
         model = self._segments.get(segment)
         if model is None:
             raise KeyError(f"no cost segment named {segment!r}")
-        duration = model.sample(self._cpu_rng) + extra_ps
-        stall = self._interference.stall_during(duration, self._interference_rng)
+        mode = self._vector_mode
+        if mode == "scalar":
+            duration = model.sample(self._cpu_rng) + extra_ps
+            stall = self._interference.stall_during(duration, self._interference_rng)
+            if stall:
+                self.trace("preemption", segment=segment, stall_ps=stall)
+            return duration + stall
+        sigma = model.jitter_sigma
+        if sigma == 0.0:
+            # No jitter and no tail: the scalar draw is exactly nominal.
+            duration = model.nominal_ps + extra_ps
+        else:
+            i = self._z_i
+            if i >= len(self._z_list):
+                self._refill_z()
+                i = 0
+            self._z_i = i + 1
+            if mode == "fast":
+                value = float(model.nominal_ps) * self._mults[i]
+            else:
+                value = float(model.nominal_ps) * float(np.exp(sigma * self._z_list[i]))
+            duration = max(0, round(value)) + extra_ps
+        # Blocked interference: mirrors InterferenceModel.stall_during
+        # (same expressions, same draw count) on pre-drawn uniforms.
+        stall = 0
+        if duration > 0:
+            rate, scale, inv_alpha, cap, mrate, mscale, minv_alpha, mcap = self._itf_params
+            us = self._us
+            i = self._u_i
+            if rate != 0.0:
+                if i >= len(us):
+                    us = self._refill_u()
+                    i = 0
+                u = us[i]
+                i += 1
+                if u < 1.0 - math.exp(-rate * duration / 1e12):
+                    if i >= len(us):
+                        us = self._refill_u()
+                        i = 0
+                    u = us[i]
+                    i += 1
+                    if u < 1e-12:
+                        u = 1e-12
+                    stall = min(round(scale * u ** inv_alpha), cap)
+            if mrate != 0.0:
+                if i >= len(us):
+                    us = self._refill_u()
+                    i = 0
+                u = us[i]
+                i += 1
+                if u < 1.0 - math.exp(-mrate * duration / 1e12):
+                    if i >= len(us):
+                        us = self._refill_u()
+                        i = 0
+                    u = us[i]
+                    i += 1
+                    if u < 1e-12:
+                        u = 1e-12
+                    stall += min(round(mscale * u ** minv_alpha), mcap)
+            self._u_i = i
         if stall:
             self.trace("preemption", segment=segment, stall_ps=stall)
         return duration + stall

@@ -144,6 +144,10 @@ class AddressSpace:
         self.name = name
         self._bases: List[int] = []
         self._maps: List[Tuple[int, MemoryRegion]] = []
+        # Last successful resolve as (base, end, region): accesses
+        # cluster heavily on one region (RAM, a ring, a BAR), so this
+        # turns most lookups into two integer compares.
+        self._last: Optional[Tuple[int, int, MemoryRegion]] = None
 
     def map(self, base: int, region: MemoryRegion) -> None:
         """Install *region* at *base*."""
@@ -159,6 +163,7 @@ class AddressSpace:
         idx = bisect.bisect_left(self._bases, base)
         self._bases.insert(idx, base)
         self._maps.insert(idx, (base, region))
+        self._last = None
 
     def unmap(self, base: int) -> MemoryRegion:
         """Remove and return the region mapped at exactly *base*."""
@@ -166,14 +171,19 @@ class AddressSpace:
         if idx >= len(self._bases) or self._bases[idx] != base:
             raise KeyError(f"no mapping at {base:#x} in {self.name!r}")
         self._bases.pop(idx)
+        self._last = None
         return self._maps.pop(idx)[1]
 
     def resolve(self, addr: int) -> Tuple[MemoryRegion, int]:
         """The region containing *addr* and the offset within it."""
+        last = self._last
+        if last is not None and last[0] <= addr < last[1]:
+            return last[2], addr - last[0]
         idx = bisect.bisect_right(self._bases, addr) - 1
         if idx >= 0:
             base, region = self._maps[idx]
             if addr < base + region.size:
+                self._last = (base, base + region.size, region)
                 return region, addr - base
         raise MemoryAccessError(f"unmapped address {addr:#x} in space {self.name!r}")
 

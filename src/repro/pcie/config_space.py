@@ -115,6 +115,9 @@ class ConfigSpace:
         self._bars: Dict[int, BarDefinition] = {}
         self._bar_sizing: Dict[int, bool] = {}  # index -> last write was all-ones
         self._bar_addrs: Dict[int, int] = {}
+        #: Bumped whenever BAR programming or the command register
+        #: changes; endpoints key their decoded-BAR caches on it.
+        self.generation = 0
         self._next_cap_offset = FIRST_CAPABILITY_OFFSET
         self._last_cap_offset: Optional[int] = None
         self._capabilities: List[Tuple[int, int]] = []  # (cap_id, offset)
@@ -151,6 +154,7 @@ class ConfigSpace:
             raise ValueError(f"BAR {bar.index + 1} needed for 64-bit BAR {bar.index}")
         self._bars[bar.index] = bar
         self._bar_addrs[bar.index] = 0
+        self.generation += 1
 
     def bar_definition(self, index: int) -> Optional[BarDefinition]:
         return self._bars.get(index)
@@ -187,6 +191,7 @@ class ConfigSpace:
                 addr = self._bar_addrs[index - 1]
                 self._bar_addrs[index - 1] = (addr & 0xFFFF_FFFF) | (value << 32)
                 self._bar_sizing[index - 1] = False
+                self.generation += 1
             return
         if value == 0xFFFF_FFFF:
             self._bar_sizing[index] = True
@@ -194,6 +199,7 @@ class ConfigSpace:
         self._bar_sizing[index] = False
         addr = self._bar_addrs[index]
         self._bar_addrs[index] = (addr & ~0xFFFF_FFFF) | (value & 0xFFFF_FFF0)
+        self.generation += 1
 
     # -- capability list -----------------------------------------------------
 
@@ -271,6 +277,7 @@ class ConfigSpace:
             return
         if offset == COMMAND_OFFSET and length in (2, 4):
             write_u16(self._data, COMMAND_OFFSET, int.from_bytes(data[:2], "little"))
+            self.generation += 1
             return
         if offset < 0x10 or (0x2C <= offset < 0x34):
             return  # read-only identity / subsystem region

@@ -81,6 +81,19 @@ class PcieEndpoint(Component):
         self._stat_dma_write_tlps = 0
         self._dma_read_event_name = f"{self.path}.dma_read"
         self._stat_msix_raised = 0
+        # Decoded-BAR cache, keyed on the config space's generation
+        # counter: (base, end, region) tuples for each programmed BAR,
+        # plus the enable bits, so the per-TLP paths skip the
+        # dict-walk + register decode.  Rebuilt whenever enumeration
+        # reprograms a BAR or flips command-register bits.
+        self._bar_cache: list[tuple[int, int, MemoryRegion]] = []
+        self._bar_cache_gen = -1
+        self._mem_enabled = False
+        self._bus_master = False
+        # ``link.upstream.post``, bound lazily on first use (the
+        # direction exists once the root port / switch side attaches its
+        # receive callback, which always precedes traffic).
+        self._post_up = None
 
     # -- construction -----------------------------------------------------------
 
@@ -108,18 +121,23 @@ class PcieEndpoint(Component):
     # -- downstream TLP handling ----------------------------------------------------
 
     def _receive(self, tlp: Tlp) -> None:
-        if tlp.kind == TlpKind.CONFIG_READ:
-            self._handle_config_read(tlp)
-        elif tlp.kind == TlpKind.CONFIG_WRITE:
-            self._handle_config_write(tlp)
-        elif tlp.kind == TlpKind.MEM_READ:
-            self._handle_mem_read(tlp)
-        elif tlp.kind == TlpKind.MEM_WRITE:
-            self._handle_mem_write(tlp)
-        elif tlp.kind in (TlpKind.COMPLETION, TlpKind.COMPLETION_DATA):
+        # Dispatch ordered by steady-state frequency (DMA-read
+        # completions, then MMIO traffic, then enumeration-time config),
+        # with identity compares: TlpKind members are singletons.
+        kind = tlp.kind
+        if kind is TlpKind.COMPLETION_DATA or kind is TlpKind.COMPLETION:
             self._handle_completion(tlp)
+        elif kind is TlpKind.MEM_WRITE:
+            self._handle_mem_write(tlp)
+        elif kind is TlpKind.MEM_READ:
+            self._handle_mem_read(tlp)
+        elif kind is TlpKind.CONFIG_READ:
+            self._handle_config_read(tlp)
+        elif kind is TlpKind.CONFIG_WRITE:
+            self._handle_config_write(tlp)
         else:  # pragma: no cover - enum is exhaustive
             raise RuntimeError(f"endpoint {self.name!r}: unexpected TLP {tlp!r}")
+
 
     def _handle_config_read(self, tlp: Tlp) -> None:
         data = self.config.read(tlp.addr, 4)
@@ -141,15 +159,30 @@ class PcieEndpoint(Component):
         done = Tlp(kind=TlpKind.COMPLETION, requester=tlp.requester, tag=tlp.tag)
         self.sim.schedule(self.completer_latency, self.link.post_upstream, done)
 
+    def _refresh_config_cache(self) -> None:
+        config = self.config
+        self._bar_cache = [
+            (base, base + region.size, region)
+            for index, region in self._bar_regions.items()
+            if (base := config.bar_address(index))
+        ]
+        self._mem_enabled = config.memory_enabled
+        self._bus_master = config.bus_master_enabled
+        self._bar_cache_gen = config.generation
+
     def _locate_bar(self, addr: int, length: int) -> Optional[tuple[MemoryRegion, int]]:
-        for index, region in self._bar_regions.items():
-            base = self.config.bar_address(index)
-            if base and base <= addr and addr + length <= base + region.size:
+        if self._bar_cache_gen != self.config.generation:
+            self._refresh_config_cache()
+        end = addr + length
+        for base, bar_end, region in self._bar_cache:
+            if base <= addr and end <= bar_end:
                 return region, addr - base
         return None
 
     def _handle_mem_read(self, tlp: Tlp) -> None:
-        if not self.config.memory_enabled:
+        if self._bar_cache_gen != self.config.generation:
+            self._refresh_config_cache()
+        if not self._mem_enabled:
             self.link.post_upstream(completion_error(tlp, CompletionStatus.UNSUPPORTED_REQUEST))
             return
         located = self._locate_bar(tlp.addr, tlp.length)
@@ -163,13 +196,23 @@ class PcieEndpoint(Component):
         except MemoryAccessError:
             self.link.post_upstream(completion_error(tlp, CompletionStatus.COMPLETER_ABORT))
             return
-        self.trace("mem-read", addr=tlp.addr, length=tlp.length)
-        delay = self.completer_latency
-        for cpl in split_completion(tlp, data, rcb=self.link.config.read_completion_boundary):
-            self.sim.schedule(delay, self.link.post_upstream, cpl)
+        if self.tracer.enabled:
+            self.trace("mem-read", addr=tlp.addr, length=tlp.length)
+        post = self._post_up
+        if post is None:
+            post = self._post_up = self.link.upstream.post
+        self.sim.schedule_many(
+            self.completer_latency,
+            post,
+            [(cpl,) for cpl in split_completion(
+                tlp, data, rcb=self.link.config.read_completion_boundary
+            )],
+        )
 
     def _handle_mem_write(self, tlp: Tlp) -> None:
-        if not self.config.memory_enabled:
+        if self._bar_cache_gen != self.config.generation:
+            self._refresh_config_cache()
+        if not self._mem_enabled:
             self.trace("mem-write-dropped", addr=tlp.addr)
             return
         located = self._locate_bar(tlp.addr, tlp.length)
@@ -178,7 +221,8 @@ class PcieEndpoint(Component):
             return  # posted: silently dropped (device would log an error)
         region, offset = located
         region.write(offset, tlp.data)
-        self.trace("mem-write", addr=tlp.addr, length=tlp.length)
+        if self.tracer.enabled:
+            self.trace("mem-write", addr=tlp.addr, length=tlp.length)
 
     # -- DMA master API (device internal logic) ------------------------------------
 
@@ -192,7 +236,9 @@ class PcieEndpoint(Component):
         ordered behind the payload by the link FIFO -- so "last TLP
         delivered" is the faithful notion of done for a DMA engine.
         """
-        if not self.config.bus_master_enabled:
+        if self._bar_cache_gen != self.config.generation:
+            self._refresh_config_cache()
+        if not self._bus_master:
             raise RuntimeError(f"{self.name!r}: DMA write with bus mastering disabled")
         tlps = segment_write(addr, data, self.link.config.max_payload, requester=self.path)
         self._stat_dma_write_tlps += len(tlps)
@@ -203,23 +249,29 @@ class PcieEndpoint(Component):
     def dma_read(self, addr: int, length: int) -> Event:
         """Read *length* bytes from host memory; event fires with the
         reassembled bytes when all completions have arrived."""
-        if not self.config.bus_master_enabled:
+        if self._bar_cache_gen != self.config.generation:
+            self._refresh_config_cache()
+        if not self._bus_master:
             raise RuntimeError(f"{self.name!r}: DMA read with bus mastering disabled")
         done = Event(name=self._dma_read_event_name)
         requests = segment_read(addr, length, self.link.config.max_read_request,
                                 requester=self.path)
         self._stat_dma_read_tlps += len(requests)
         state = _PendingRead(expected=length, event=done, base_addr=addr)
+        post = self._post_up
+        if post is None:
+            post = self._post_up = self.link.upstream.post
+        pending = self._pending_reads
         for req in requests:
-            self._pending_reads[req.tag] = state
-            self.link.post_upstream(req)
+            pending[req.tag] = state
+            post(req)
         return done
 
     def _handle_completion(self, tlp: Tlp) -> None:
         state = self._pending_reads.get(tlp.tag)
         if state is None:
             raise RuntimeError(f"{self.name!r}: completion with unknown tag {tlp.tag}")
-        if tlp.kind == TlpKind.COMPLETION:
+        if tlp.kind is TlpKind.COMPLETION:
             del self._pending_reads[tlp.tag]
             raise RuntimeError(
                 f"{self.name!r}: DMA read failed with {tlp.completion_status.name}"

@@ -140,6 +140,10 @@ class LinkDirection(Component):
         self._ser_cache: dict[int, SimTime] = {}
         self._prop_time = config.propagation_time
         self._delivered_name = f"{self.path}.delivered"
+        # Pre-bound event callbacks: a fresh bound method per scheduled
+        # hop would otherwise be allocated twice per TLP.
+        self._tx_done_cb = self._tx_done
+        self._arrive_cb = self._arrive
         #: Fault injector (attached by repro.faults; None in normal runs).
         self.injector = None
         #: Shared-uplink arbiter (a PcieSwitch) when this direction sits
@@ -209,10 +213,14 @@ class LinkDirection(Component):
             tx_time = self.config.serialization_time(wire)
             self._ser_cache[wire] = tx_time
         if self.tracer.enabled:
-            self.trace("tlp-tx", tlp=tlp.kind.value, addr=tlp.addr, bytes=tlp.wire_bytes)
+            self.trace("tlp-tx", tlp=tlp.kind.value, addr=tlp.addr, bytes=wire)
         self._tlps_sent += 1
-        self._bytes_sent += tlp.wire_bytes
-        self.sim.schedule(tx_time, self._tx_done, tlp, delivered)
+        self._bytes_sent += wire
+        # Inlined ``sim.schedule(tx_time, self._tx_done, tlp, delivered)``
+        # -- one of these runs per TLP on the wire.
+        sim = self.sim
+        sim._seq = seq = sim._seq + 1
+        sim._push((sim._now + tx_time, seq, self._tx_done_cb, (tlp, delivered)))
 
     def _tx_done(self, tlp: Tlp, delivered: Optional[Event]) -> None:
         # Last byte left the transmitter; arrival after propagation --
@@ -221,7 +229,9 @@ class LinkDirection(Component):
         if self.uplink is not None:
             self.uplink.forward(self, tlp, delivered)
         else:
-            self.sim.schedule(self._prop_time, self._arrive, tlp, delivered)
+            sim = self.sim
+            sim._seq = seq = sim._seq + 1
+            sim._push((sim._now + self._prop_time, seq, self._arrive_cb, (tlp, delivered)))
         if self._queue:
             self._transmit_next()
         else:

@@ -45,6 +45,10 @@ MMIO_WINDOW_SIZE = 0x1000_0000
 
 MsiHandler = Callable[[int, int], None]  # (address, data)
 
+#: Inlined MSI-window test constants (see :func:`repro.pcie.msi.is_msi_address`).
+_MSI_MASK = 0xFFF0_0000
+_MSI_WINDOW = 0xFEE0_0000
+
 
 class _HostPendingRead:
     __slots__ = ("expected", "chunks", "received", "event")
@@ -73,27 +77,39 @@ class RootPort(Component):
         self.port_index = port_index
         self._pending: Dict[int, _HostPendingRead] = {}
         self._pending_nonposted: Dict[int, Event] = {}
+        # ``link.downstream.post``, bound lazily on first DMA read (the
+        # downstream direction attaches when the endpoint is built).
+        self._post_down = None
         link.attach_root_rx(self._receive_upstream)
 
     # -- upstream (device-initiated) ------------------------------------------
 
     def _receive_upstream(self, tlp: Tlp) -> None:
-        if tlp.kind == TlpKind.MEM_WRITE:
-            if is_msi_address(tlp.addr):
+        kind = tlp.kind
+        if kind is TlpKind.MEM_WRITE:
+            # Inlined ``is_msi_address``: one masked compare per DMA write.
+            if tlp.addr & _MSI_MASK == _MSI_WINDOW:
                 self.trace("msi-rx", addr=tlp.addr)
                 self.rc.deliver_msi(tlp.addr, int.from_bytes(tlp.data, "little"))
             else:
                 self.rc.host_memory.write(tlp.addr, tlp.data)
                 if self.tracer.enabled:
                     self.trace("dma-write", addr=tlp.addr, length=tlp.length)
-        elif tlp.kind == TlpKind.MEM_READ:
+        elif kind is TlpKind.MEM_READ:
             if self.tracer.enabled:
                 self.trace("dma-read", addr=tlp.addr, length=tlp.length)
             data = self.rc.host_memory.read(tlp.addr, tlp.length)
-            delay = self.rc.memory_read_latency
-            for cpl in split_completion(tlp, data, rcb=self.link.config.read_completion_boundary):
-                self.sim.schedule(delay, self.link.post_downstream, cpl)
-        elif tlp.kind in (TlpKind.COMPLETION, TlpKind.COMPLETION_DATA):
+            post = self._post_down
+            if post is None:
+                post = self._post_down = self.link.downstream.post
+            self.sim.schedule_many(
+                self.rc.memory_read_latency,
+                post,
+                [(cpl,) for cpl in split_completion(
+                    tlp, data, rcb=self.link.config.read_completion_boundary
+                )],
+            )
+        elif kind is TlpKind.COMPLETION or kind is TlpKind.COMPLETION_DATA:
             self._handle_completion(tlp)
         else:
             raise RuntimeError(f"root port {self.port_index}: unexpected upstream {tlp!r}")

@@ -169,17 +169,42 @@ class Tlp:
 
 
 # -- constructors --------------------------------------------------------------
+#
+# The three constructors below build every DMA/MMIO TLP in the hot path
+# (memory requests and their completion splits) via ``object.__new__``,
+# skipping the dataclass ``__init__``/``__post_init__``.  Their arguments
+# are produced by the segmentation helpers and completers, which already
+# satisfy the invariants ``__post_init__`` checks (lengths match payloads,
+# addresses are non-negative); ad-hoc / external construction keeps going
+# through ``Tlp(...)`` with full validation.
+
+_tlp_new = object.__new__
+_MEM_READ = TlpKind.MEM_READ
+_MEM_WRITE = TlpKind.MEM_WRITE
+_COMPLETION_DATA = TlpKind.COMPLETION_DATA
+_SUCCESS = CompletionStatus.SUCCESS
+#: 3-DW wire footprint with no payload: DLL framing + 12 B header.
+_WIRE_3DW = DLL_OVERHEAD_BYTES + HEADER_3DW_BYTES
+_WIRE_4DW = DLL_OVERHEAD_BYTES + HEADER_4DW_BYTES
 
 
 def memory_read(addr: int, length: int, requester: str = "", tag: Optional[int] = None) -> Tlp:
     """An MRd request."""
-    return Tlp(
-        kind=TlpKind.MEM_READ,
-        addr=addr,
-        length=length,
-        requester=requester,
-        tag=next_tag() if tag is None else tag,
-    )
+    if length <= 0:
+        raise ValueError("MRd TLP must request at least 1 byte")
+    t = _tlp_new(Tlp)
+    t.kind = _MEM_READ
+    t.addr = addr
+    t.length = length
+    t.data = b""
+    t.requester = requester
+    t.tag = next_tag() if tag is None else tag
+    t.completion_status = _SUCCESS
+    t.byte_count = 0
+    t.lower_address = 0
+    t.detail = {}
+    t.wire_bytes = _WIRE_4DW if addr + length > ADDR_32BIT_LIMIT else _WIRE_3DW
+    return t
 
 
 def memory_write(addr: int, data: bytes, requester: str = "") -> Tlp:
@@ -188,9 +213,23 @@ def memory_write(addr: int, data: bytes, requester: str = "") -> Tlp:
     Zero-copy: the payload buffer is carried by reference.  Callers that
     may mutate the source after issuing the write must pass a snapshot.
     """
-    return Tlp(
-        kind=TlpKind.MEM_WRITE, addr=addr, length=len(data), data=data, requester=requester
-    )
+    t = _tlp_new(Tlp)
+    length = len(data)
+    t.kind = _MEM_WRITE
+    t.addr = addr
+    t.length = length
+    t.data = data
+    t.requester = requester
+    t.tag = 0
+    t.completion_status = _SUCCESS
+    t.byte_count = 0
+    t.lower_address = 0
+    t.detail = {}
+    if addr + (length or 1) > ADDR_32BIT_LIMIT:
+        t.wire_bytes = _WIRE_4DW + length
+    else:
+        t.wire_bytes = _WIRE_3DW + length
+    return t
 
 
 def completion_with_data(
@@ -204,16 +243,21 @@ def completion_with_data(
     Zero-copy: the payload buffer is carried by reference (completers
     pass views of an immutable read snapshot).
     """
-    return Tlp(
-        kind=TlpKind.COMPLETION_DATA,
-        addr=0,
-        length=len(data),
-        data=data,
-        requester=request.requester,
-        tag=request.tag,
-        byte_count=len(data) if byte_count is None else byte_count,
-        lower_address=lower_address,
-    )
+    t = _tlp_new(Tlp)
+    length = len(data)
+    t.kind = _COMPLETION_DATA
+    t.addr = 0
+    t.length = length
+    t.data = data
+    t.requester = request.requester
+    t.tag = request.tag
+    t.completion_status = _SUCCESS
+    t.byte_count = length if byte_count is None else byte_count
+    t.lower_address = lower_address
+    t.detail = {}
+    # Completions always use the 3-DW header format.
+    t.wire_bytes = _WIRE_3DW + length
+    return t
 
 
 def completion_error(request: Tlp, status: CompletionStatus) -> Tlp:

@@ -1,0 +1,329 @@
+"""Event-queue backends for the simulation kernel.
+
+Two interchangeable schedulers with the same total order ``(time, seq)``:
+
+``CalendarQueue``
+    A bucketed calendar queue (Brown 1988): events land in a ring of
+    day-wide buckets indexed by ``(time >> shift) & mask`` and a cursor
+    walks forward popping bucket heads, so push and pop are O(1) in the
+    common case regardless of how many events are pending.  Buckets are
+    kept sorted with ``bisect.insort`` (C memmove on small lists), so a
+    pop is ``bucket.pop(0)`` with no Python-level min scan.  Events
+    beyond the current bucket window overflow into a small binary heap
+    and are migrated into the ring as the cursor approaches them.
+
+``HeapQueue``
+    The pre-2.0 single binary heap, kept as a fallback (selected with
+    ``REPRO_SIM_SCHEDULER=heap``) and as the reference implementation the
+    property tests compare the calendar queue against.
+
+Both pop events in strictly ascending ``(time, seq)`` order, so the
+simulation is byte-identical under either backend.  Entries are the
+kernel's raw 4-tuples ``(when, seq, callback, args)``; ``seq`` is unique,
+so tuple comparison always resolves at the first two elements and never
+reaches the callback.
+
+Invariants of the calendar queue (the correctness argument lives here
+because the code is deliberately branch-lean):
+
+* every bucketed entry has day ``(when >> shift)`` in the half-open
+  window ``[cursor, cursor + nbuckets)`` — so each ring slot holds at
+  most one distinct day and a forward scan visits days in order;
+* every far-heap entry has a day at or beyond the window at the time it
+  was pushed; ``pop`` migrates far entries into the ring the moment the
+  window reaches them, before selecting a head;
+* the cursor only moves forward to the day of a popped entry (which is
+  the global minimum, so no pending entry is ever behind the cursor);
+  the one exception is a push behind the cursor — possible only after an
+  ``until``-clamp advanced simulation time past a popped-and-pushed-back
+  event — which triggers ``_rewind``, a full rebuild anchored at the new
+  earliest day.
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import bisect_left, insort
+from typing import Callable, List, Optional, Tuple
+
+#: An event entry as stored by the kernel: (time_ps, seq, callback, args).
+Entry = Tuple[int, int, Callable[..., None], tuple]
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
+
+class HeapQueue:
+    """Single binary-heap event queue (legacy scheduler, kept as fallback)."""
+
+    name = "heap"
+
+    __slots__ = ("_q", "_peak")
+
+    def __init__(self) -> None:
+        self._q: List[Entry] = []
+        self._peak = 0
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+    def push(self, entry: Entry) -> None:
+        _heappush(self._q, entry)
+
+    def push_many(self, entries: List[Entry]) -> None:
+        q = self._q
+        for entry in entries:
+            _heappush(q, entry)
+
+    def pop(self) -> Optional[Entry]:
+        # Peak depth is sampled here, where the length is loaded anyway;
+        # "peak" means peak pending observed at an event boundary.
+        q = self._q
+        n = len(q)
+        if not n:
+            return None
+        if n > self._peak:
+            self._peak = n
+        return _heappop(q)
+
+    def pushback(self, entry: Entry) -> None:
+        """Return the most recently popped entry to the queue."""
+        _heappush(self._q, entry)
+
+    def stats(self) -> dict:
+        return {
+            "scheduler": self.name,
+            "pending": len(self._q),
+            "peak_depth": self._peak,
+        }
+
+
+class CalendarQueue:
+    """Bucketed calendar queue with sorted buckets and O(1) push/pop."""
+
+    name = "calendar"
+
+    __slots__ = (
+        "_shift",
+        "_nb",
+        "_mask",
+        "_buckets",
+        "_far",
+        "_cur",
+        "_count",
+        "_peak",
+        "_far_pushes",
+        "_migrated",
+        "_grows",
+        "_max_nb",
+    )
+
+    def __init__(
+        self,
+        shift: int = 21,
+        nbuckets: int = 64,
+        max_nbuckets: int = 1 << 14,
+    ) -> None:
+        if nbuckets <= 0 or nbuckets & (nbuckets - 1):
+            raise ValueError(f"nbuckets must be a power of two, got {nbuckets}")
+        if max_nbuckets < nbuckets:
+            raise ValueError("max_nbuckets must be >= nbuckets")
+        self._shift = shift
+        self._nb = nbuckets
+        self._mask = nbuckets - 1
+        self._buckets: List[List[Entry]] = [[] for _ in range(nbuckets)]
+        self._far: List[Entry] = []
+        self._cur = 0
+        self._count = 0
+        self._peak = 0
+        self._far_pushes = 0
+        self._migrated = 0
+        self._grows = 0
+        self._max_nb = max_nbuckets
+
+    def __len__(self) -> int:
+        return self._count
+
+    # -- push ---------------------------------------------------------------
+
+    # Peak depth and the grow trigger are sampled in ``pop`` (which loads
+    # the count anyway) rather than maintained here: ``push`` is the most
+    # frequent operation in the repository and every interpreted op counts.
+
+    def push(self, entry: Entry) -> None:
+        day = entry[0] >> self._shift
+        if self._count:
+            d = day - self._cur
+            if 0 <= d < self._nb:
+                insort(self._buckets[day & self._mask], entry)
+                self._count += 1
+                return
+            self._push_slow(entry, day, d)
+        else:
+            # Queue went quiet (the common case at shallow depths):
+            # restart the window at this entry's day so the next pop
+            # starts here instead of scanning from a stale cursor.
+            self._cur = day
+            self._buckets[day & self._mask].append(entry)
+            self._count = 1
+
+    def _push_slow(self, entry: Entry, day: int, d: int) -> None:
+        if d < 0:
+            # Push behind the cursor: only possible after an ``until``
+            # clamp advanced sim time past a popped-and-pushed-back event.
+            # Rebuild the window anchored at the new earliest day.
+            self._rewind(day)
+            insort(self._buckets[day & self._mask], entry)
+        else:
+            _heappush(self._far, entry)
+            self._far_pushes += 1
+        self._count += 1
+
+    def push_many(self, entries: List[Entry]) -> None:
+        """Push a batch of same-time entries with one splice per bucket."""
+        n = len(entries)
+        if not n:
+            return
+        day = entries[0][0] >> self._shift
+        if self._count:
+            d = day - self._cur
+            if 0 <= d < self._nb:
+                b = self._buckets[day & self._mask]
+                # All entries share (when) and carry ascending seq, so they
+                # occupy one contiguous run; a single slice insert keeps the
+                # bucket sorted.
+                i = bisect_left(b, entries[0])
+                b[i:i] = entries
+                self._count += n
+                return
+            for entry in entries:
+                self.push(entry)
+        else:
+            self._cur = day
+            # Ascending seq at one timestamp: already sorted.
+            self._buckets[day & self._mask].extend(entries)
+            self._count = n
+
+    # -- pop ----------------------------------------------------------------
+
+    def pop(self) -> Optional[Entry]:
+        count = self._count
+        if not count:
+            return None
+        if count > self._peak:
+            self._peak = count
+            if count > (self._nb << 3) and self._nb < self._max_nb:
+                self._grow()
+        self._count = count - 1
+        cur = self._cur
+        far = self._far
+        if far and (far[0][0] >> self._shift) - cur < self._nb:
+            self._migrate(cur)
+        buckets = self._buckets
+        mask = self._mask
+        b = buckets[cur & mask]
+        if b:
+            return b.pop(0)
+        stop = cur + self._nb
+        while True:
+            cur += 1
+            if cur == stop:
+                # The whole window is empty; everything pending sits in
+                # the far heap.  Jump the window to the far minimum.
+                cur = far[0][0] >> self._shift
+                self._migrate(cur)
+                b = buckets[cur & mask]
+                break
+            b = buckets[cur & mask]
+            if b:
+                break
+        self._cur = cur
+        return b.pop(0)
+
+    def pushback(self, entry: Entry) -> None:
+        """Return the entry from the immediately preceding ``pop``.
+
+        The popped entry was the global minimum, so its day equals the
+        cursor and every other entry still satisfies the window
+        invariant; it goes back as the head of the cursor's bucket.
+        """
+        b = self._buckets[(entry[0] >> self._shift) & self._mask]
+        b.insert(0, entry)
+        self._count += 1
+
+    # -- maintenance --------------------------------------------------------
+
+    def _migrate(self, cur: int) -> None:
+        """Move far-heap entries whose day entered the window into buckets."""
+        far = self._far
+        shift = self._shift
+        nb = self._nb
+        buckets = self._buckets
+        mask = self._mask
+        moved = 0
+        while far:
+            day = far[0][0] >> shift
+            if day - cur >= nb:
+                break
+            insort(buckets[day & mask], _heappop(far))
+            moved += 1
+        self._migrated += moved
+
+    def _rebucket(self, cur: int) -> None:
+        """Re-place every entry relative to window start *cur*."""
+        entries = [e for b in self._buckets for e in b]
+        entries.extend(self._far)
+        entries.sort()
+        nb = self._nb
+        self._mask = mask = nb - 1
+        self._buckets = buckets = [[] for _ in range(nb)]
+        far: List[Entry] = []
+        shift = self._shift
+        for e in entries:
+            d = (e[0] >> shift) - cur
+            if 0 <= d < nb:
+                # Appending in globally sorted order keeps buckets sorted.
+                buckets[(e[0] >> shift) & mask].append(e)
+            else:
+                far.append(e)
+        heapq.heapify(far)
+        self._far = far
+
+    def _rewind(self, day: int) -> None:
+        self._cur = day
+        self._rebucket(day)
+
+    def _grow(self) -> None:
+        self._nb <<= 1
+        self._grows += 1
+        self._rebucket(self._cur)
+
+    # -- stats --------------------------------------------------------------
+
+    def stats(self) -> dict:
+        nonempty = sum(1 for b in self._buckets if b)
+        near = self._count - len(self._far)
+        return {
+            "scheduler": self.name,
+            "pending": self._count,
+            "peak_depth": self._peak,
+            "nbuckets": self._nb,
+            "bucket_width_ps": 1 << self._shift,
+            "nonempty_buckets": nonempty,
+            "occupancy": (near / nonempty) if nonempty else 0.0,
+            "far_pending": len(self._far),
+            "far_pushes": self._far_pushes,
+            "migrated": self._migrated,
+            "grows": self._grows,
+        }
+
+
+def make_queue(scheduler: str):
+    """Construct the event-queue backend named *scheduler*."""
+    if scheduler == "calendar":
+        return CalendarQueue()
+    if scheduler == "heap":
+        return HeapQueue()
+    raise ValueError(
+        f"unknown scheduler {scheduler!r}: expected 'calendar' or 'heap'"
+    )

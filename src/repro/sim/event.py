@@ -34,7 +34,9 @@ class Event:
         self.name = name
         self._value: Any = None
         self._triggered = False
-        self._callbacks: List[Callable[["Event"], None]] = []
+        # Lazily allocated: most events acquire exactly one waiter (or
+        # none), so the callback list is only built on demand.
+        self._callbacks: Optional[List[Callable[["Event"], None]]] = None
 
     @property
     def triggered(self) -> bool:
@@ -58,20 +60,26 @@ class Event:
             raise EventError(f"event {self!r} triggered twice")
         self._triggered = True
         self._value = value
-        callbacks, self._callbacks = self._callbacks, []
-        for cb in callbacks:
-            cb(self)
+        callbacks = self._callbacks
+        if callbacks is not None:
+            self._callbacks = None
+            for cb in callbacks:
+                cb(self)
         return self
 
     def on_trigger(self, callback: Callable[["Event"], None]) -> None:
         """Register *callback*; runs immediately if already triggered."""
         if self._triggered:
             callback(self)
+        elif self._callbacks is None:
+            self._callbacks = [callback]
         else:
             self._callbacks.append(callback)
 
     def remove_callback(self, callback: Callable[["Event"], None]) -> None:
         """Unregister a previously added callback (no-op if absent)."""
+        if self._callbacks is None:
+            return
         try:
             self._callbacks.remove(callback)
         except ValueError:

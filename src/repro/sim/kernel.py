@@ -4,9 +4,12 @@ A minimal, deterministic event-driven kernel in the style of SimPy but
 specialized for this codebase:
 
 * integer-picosecond timestamps (see :mod:`repro.sim.time`),
-* a single binary-heap event queue with a monotonically increasing
-  sequence number as tie-breaker, so same-time events always run in
-  schedule order (full determinism across runs and platforms),
+* a pluggable event queue with a monotonically increasing sequence
+  number as tie-breaker, so same-time events always run in schedule
+  order (full determinism across runs and platforms).  The default
+  backend is a bucketed calendar queue with O(1) push/pop; the legacy
+  binary heap remains available via ``REPRO_SIM_SCHEDULER=heap`` (see
+  :mod:`repro.sim.calendar`) and both produce byte-identical runs,
 * generator-based processes (:mod:`repro.sim.process`),
 * named, hierarchically seeded NumPy random streams so that adding a new
   consumer of randomness never perturbs existing streams.
@@ -18,11 +21,12 @@ models live in higher layers and interact only through ``schedule``,
 
 from __future__ import annotations
 
-import heapq
-from typing import Any, Callable, Dict, List, Optional, Tuple
+import os
+from typing import Any, Callable, Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
+from repro.sim.calendar import make_queue
 from repro.sim.event import Event, Timeout
 from repro.sim.process import Process, ProcessError, ProcessGenerator, process_name
 from repro.sim.time import SimTime
@@ -33,9 +37,8 @@ from repro.sim.time import SimTime
 #: per-event ``is not None`` check on the hot path.
 _NO_LIMIT = float("inf")
 
-#: Module-level binding: ``schedule`` runs once per future event and the
-#: ``heapq.heappush`` attribute lookup is measurable at that call rate.
-_heappush = heapq.heappush
+#: Environment variable selecting the event-queue backend.
+SCHEDULER_ENV = "REPRO_SIM_SCHEDULER"
 
 
 class SimulationError(RuntimeError):
@@ -51,11 +54,24 @@ class Simulator:
         Root seed for all random streams.  Two simulators constructed
         with the same seed and driven by the same model code produce
         bit-identical event orders and random draws.
+    scheduler:
+        Event-queue backend: ``"calendar"`` (default) or ``"heap"``.
+        ``None`` reads ``REPRO_SIM_SCHEDULER`` from the environment.
+        Both backends pop in the same ``(time, seq)`` total order, so
+        the choice never changes simulation results.
     """
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0, scheduler: Optional[str] = None) -> None:
         self._now: SimTime = 0
-        self._queue: List[Tuple[SimTime, int, Callable[..., None], tuple]] = []
+        if scheduler is None:
+            scheduler = os.environ.get(SCHEDULER_ENV) or "calendar"
+        try:
+            self._q = make_queue(scheduler)
+        except ValueError as exc:
+            raise SimulationError(str(exc)) from None
+        # Bound once: ``schedule`` runs once per future event and the
+        # attribute chain is measurable at that call rate.
+        self._push = self._q.push
         self._seq = 0
         self._seed = seed
         self._seed_root = np.random.SeedSequence(seed)
@@ -82,8 +98,34 @@ class Simulator:
         """Run ``callback(*args)`` after *delay* picoseconds."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        self._seq += 1
-        _heappush(self._queue, (self._now + delay, self._seq, callback, args))
+        self._seq = seq = self._seq + 1
+        self._push((self._now + delay, seq, callback, args))
+
+    def schedule_many(
+        self,
+        delay: SimTime,
+        callback: Callable[..., None],
+        argtuples: Iterable[tuple],
+    ) -> None:
+        """Batch-schedule ``callback(*args)`` for each tuple in *argtuples*.
+
+        All callbacks fire at the same time, in *argtuples* order —
+        exactly equivalent to a loop of :meth:`schedule` calls, but with
+        one queue operation for the whole batch.  Chatty posters (PCIe
+        completion splitters, descriptor bursts) use this to amortize
+        per-event scheduling overhead.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        when = self._now + delay
+        seq = self._seq
+        entries = []
+        append = entries.append
+        for args in argtuples:
+            seq += 1
+            append((when, seq, callback, args))
+        self._seq = seq
+        self._q.push_many(entries)
 
     def schedule_at(self, when: SimTime, callback: Callable[..., None], *args: Any) -> None:
         """Run ``callback(*args)`` at absolute time *when*."""
@@ -119,9 +161,13 @@ class Simulator:
         return proc
 
     def _process_failed(self, error: ProcessError) -> None:
-        """Record a process failure; ``run`` re-raises on next iteration."""
+        """Record a process failure; the run loops re-raise it promptly."""
         if self._pending_failure is None:
             self._pending_failure = error
+
+    def _raise_pending_failure(self) -> None:
+        failure, self._pending_failure = self._pending_failure, None
+        raise failure
 
     # -- event loop ------------------------------------------------------------
 
@@ -140,38 +186,45 @@ class Simulator:
         Returns
         -------
         The simulation time when the loop stopped.
+
+        A process failure recorded before the call raises immediately;
+        one recorded by an executed event raises right after that event,
+        before any further event runs.  ``run_until_triggered`` surfaces
+        failures at the same points.
         """
         # The loop body is the hottest code in the repository (one
-        # iteration per simulated event); bind the heap, the pop, and
+        # iteration per simulated event); bind the queue operations and
         # the stop bound to locals so each iteration avoids repeated
         # attribute and global lookups.
         executed = 0
-        queue = self._queue
-        heappop = heapq.heappop
+        pop = self._q.pop
+        pushback = self._q.pushback
         stop = _NO_LIMIT if until is None else until
         budget = _NO_LIMIT if max_events is None else max_events
+        if self._pending_failure is not None:
+            self._raise_pending_failure()
         try:
-            while queue:
-                if self._pending_failure is not None:
-                    failure, self._pending_failure = self._pending_failure, None
-                    raise failure
-                when = queue[0][0]
+            while True:
+                entry = pop()
+                if entry is None:
+                    break
+                when = entry[0]
                 if when > stop:
+                    pushback(entry)
                     self._now = until
                     break
                 if executed >= budget:
+                    pushback(entry)
                     raise SimulationError(
                         f"exceeded max_events={max_events} at t={self._now}ps"
                     )
-                entry = heappop(queue)
                 self._now = when
                 entry[2](*entry[3])
                 executed += 1
+                if self._pending_failure is not None:
+                    self._raise_pending_failure()
         finally:
             self._events_executed += executed
-        if self._pending_failure is not None:
-            failure, self._pending_failure = self._pending_failure, None
-            raise failure
         if until is not None and self._now < until:
             self._now = until
         return self._now
@@ -184,27 +237,33 @@ class Simulator:
         SimulationError
             If the queue drains (or *limit* passes) with the event still
             pending -- a deadlock in the model.
+
+        Process failures surface at the same points as in :meth:`run`:
+        a pre-recorded failure raises before any event executes, and a
+        failure recorded by an executed event raises right after it.
         """
-        queue = self._queue
-        heappop = heapq.heappop
+        pop = self._q.pop
+        pushback = self._q.pushback
         stop = _NO_LIMIT if limit is None else limit
         executed = 0
+        if self._pending_failure is not None:
+            self._raise_pending_failure()
         try:
             while not event._triggered:
-                if not queue:
+                entry = pop()
+                if entry is None:
                     raise SimulationError(
                         f"deadlock: queue empty while waiting for {event!r}"
                     )
-                when = queue[0][0]
+                when = entry[0]
                 if when > stop:
+                    pushback(entry)
                     raise SimulationError(f"timeout at {limit}ps waiting for {event!r}")
-                entry = heappop(queue)
                 self._now = when
                 entry[2](*entry[3])
                 executed += 1
                 if self._pending_failure is not None:
-                    failure, self._pending_failure = self._pending_failure, None
-                    raise failure
+                    self._raise_pending_failure()
         finally:
             self._events_executed += executed
         return event.value
@@ -212,12 +271,20 @@ class Simulator:
     @property
     def pending_events(self) -> int:
         """Number of events currently queued."""
-        return len(self._queue)
+        return len(self._q)
 
     @property
     def events_executed(self) -> int:
         """Total events executed since construction (diagnostics)."""
         return self._events_executed
+
+    @property
+    def scheduler_stats(self) -> dict:
+        """Backend queue statistics plus kernel-level schedule/pop counts."""
+        stats = self._q.stats()
+        stats["schedules"] = self._seq
+        stats["executed"] = self._events_executed
+        return stats
 
     # -- randomness ---------------------------------------------------------------
 
@@ -242,6 +309,6 @@ class Simulator:
 
     def __repr__(self) -> str:
         return (
-            f"<Simulator t={self._now}ps queued={len(self._queue)} "
+            f"<Simulator t={self._now}ps queued={len(self._q)} "
             f"executed={self._events_executed} seed={self._seed}>"
         )

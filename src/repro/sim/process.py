@@ -28,6 +28,10 @@ if TYPE_CHECKING:  # pragma: no cover
 #: The generator type a process body must have.
 ProcessGenerator = Generator[Any, Any, Any]
 
+#: Shared args tuple for timer resumptions (``_step(None)``), so the hot
+#: sleep path does not allocate a fresh one-element tuple per event.
+_RESUME_NONE = (None,)
+
 
 class ProcessError(RuntimeError):
     """Wraps an exception escaping a process body with process context."""
@@ -46,13 +50,18 @@ class Process(Event):
     ``yield other_process`` (join) work with no extra machinery.
     """
 
-    __slots__ = ("sim", "body", "_started")
+    __slots__ = ("sim", "body", "_started", "_send", "_step_cb")
 
     def __init__(self, sim: "Simulator", body: ProcessGenerator, name: str = "") -> None:
         super().__init__(name=name or getattr(body, "__name__", "process"))
         self.sim = sim
         self.body = body
         self._started = False
+        # Pre-bound hot-path callables: ``body.send`` runs once per yield
+        # and a fresh bound method would otherwise be allocated for every
+        # sleep the process schedules.
+        self._send = body.send
+        self._step_cb = self._step
 
     @property
     def alive(self) -> bool:
@@ -80,7 +89,7 @@ class Process(Event):
         runs once per yield of every process in the simulation.
         """
         try:
-            target = self.body.send(send_value)
+            target = self._send(send_value)
         except StopIteration as stop:
             self.trigger(stop.value)
             return
@@ -89,7 +98,13 @@ class Process(Event):
             return
         if isinstance(target, int):
             if target >= 0:
-                self.sim.schedule(target, self._step, None)
+                # Inlined ``sim.schedule(target, self._step, None)``:
+                # sleeping for a sampled duration is the single most
+                # frequent wait in the repository, worth skipping the
+                # schedule call and the bound-method allocation for.
+                sim = self.sim
+                sim._seq = seq = sim._seq + 1
+                sim._push((sim._now + target, seq, self._step_cb, _RESUME_NONE))
                 return
             self.sim._process_failed(
                 ProcessError(self.name, ValueError(f"negative delay {target}"))

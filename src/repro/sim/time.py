@@ -91,11 +91,16 @@ class Frequency:
     def __post_init__(self) -> None:
         if self.hz <= 0:
             raise ValueError(f"frequency must be positive, got {self.hz}")
+        # Cached period: ``period_ps`` is read on every clocked operation
+        # (hardware timestamps, cycle conversions), so compute the
+        # division once.  ``object.__setattr__`` because the dataclass is
+        # frozen; not a field, so eq/repr are unaffected.
+        object.__setattr__(self, "_period", round(S / self.hz))
 
     @property
     def period_ps(self) -> SimTime:
         """Clock period in integer picoseconds (rounded to nearest)."""
-        return round(S / self.hz)
+        return self._period
 
     def cycles_to_time(self, cycles: int) -> SimTime:
         """Duration of *cycles* clock cycles."""

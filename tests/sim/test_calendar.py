@@ -1,0 +1,193 @@
+"""Directed tests for the calendar-queue backend and kernel integration.
+
+The property suite (``tests/property/test_scheduler_properties.py``)
+establishes order-equivalence with the reference heap; these tests pin
+the structural edge cases -- far-heap overflow and migration, the
+behind-cursor rewind, empty-queue restarts -- and the kernel-level
+behaviours that ride on them (``until`` clamping, ``schedule_many``,
+backend selection, unified failure surfacing).
+"""
+
+import pytest
+
+from repro.sim.calendar import CalendarQueue, HeapQueue, make_queue
+from repro.sim.kernel import SCHEDULER_ENV, SimulationError, Simulator
+from repro.sim.process import ProcessError
+from repro.sim.time import ns
+
+
+def _drain(queue):
+    order = []
+    while True:
+        entry = queue.pop()
+        if entry is None:
+            return order
+        order.append(entry[:2])
+
+
+class TestCalendarEdges:
+    def test_make_queue_backends(self):
+        assert isinstance(make_queue("calendar"), CalendarQueue)
+        assert isinstance(make_queue("heap"), HeapQueue)
+        with pytest.raises(ValueError):
+            make_queue("fibonacci")
+
+    def test_far_future_overflows_and_migrates(self):
+        q = CalendarQueue()
+        window_span = q.stats()["nbuckets"] * q.stats()["bucket_width_ps"]
+        near = (10, 0, None, ())
+        far = (window_span * 3, 1, None, ())
+        q.push(near)
+        q.push(far)
+        assert q.stats()["far_pending"] == 1
+        assert _drain(q) == [(10, 0), (window_span * 3, 1)]
+        assert q.stats()["migrated"] >= 1
+
+    def test_empty_queue_restart_resets_cursor(self):
+        q = CalendarQueue()
+        q.push((1 << 40, 0, None, ()))
+        assert q.pop()[:2] == (1 << 40, 0)
+        assert q.pop() is None
+        # A much earlier push after a full drain must not be treated as
+        # behind the (stale) cursor.
+        q.push((5, 1, None, ()))
+        assert _drain(q) == [(5, 1)]
+
+    def test_behind_cursor_push_rewinds(self):
+        q = CalendarQueue()
+        width = q.stats()["bucket_width_ps"]
+        q.push((width * 10, 0, None, ()))
+        q.push((width * 12, 1, None, ()))
+        assert q.pop()[:2] == (width * 10, 0)
+        # The cursor is now at day 10; push an earlier day.
+        q.push((width * 2, 2, None, ()))
+        assert _drain(q) == [(width * 2, 2), (width * 12, 1)]
+
+    def test_len_tracks_pushes_and_pops(self):
+        q = CalendarQueue()
+        for i in range(7):
+            q.push((i, i, None, ()))
+        assert len(q) == 7
+        q.pop()
+        assert len(q) == 6
+        q.pushback((0, 0, None, ()))
+        assert len(q) == 7
+
+
+class TestKernelIntegration:
+    def test_env_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(SCHEDULER_ENV, "heap")
+        assert Simulator()._q.name == "heap"
+        monkeypatch.delenv(SCHEDULER_ENV)
+        assert Simulator()._q.name == "calendar"
+        with pytest.raises(SimulationError):
+            Simulator(scheduler="fibonacci")
+
+    def test_until_clamp_then_earlier_schedule(self):
+        """After an ``until`` clamp advanced now past the pushed-back
+        head, scheduling before that head must still run in time order
+        (exercises the rewind path through the kernel)."""
+        sim = Simulator()
+        order = []
+        sim.schedule(ns(100), order.append, "late")
+        sim.run(until=ns(10))
+        assert sim.now == ns(10)
+        sim.schedule(ns(5), order.append, "early")
+        sim.run()
+        assert order == ["early", "late"]
+
+    def test_schedule_many_equals_schedule_loop(self):
+        a, b = Simulator(), Simulator()
+        got_a, got_b = [], []
+        for i in range(5):
+            a.schedule(ns(10), got_a.append, i)
+        b.schedule_many(ns(10), got_b.append, [(i,) for i in range(5)])
+        assert a._seq == b._seq
+        a.run()
+        b.run()
+        assert got_a == got_b == [0, 1, 2, 3, 4]
+
+    def test_schedule_many_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule_many(-1, print, [()])
+
+    @pytest.mark.parametrize("backend", ["calendar", "heap"])
+    def test_identical_simulation_across_backends(self, backend):
+        """A small mixed workload (processes, timeouts, same-time ties)
+        must produce the identical trace under either backend."""
+        sim = Simulator(seed=7, scheduler=backend)
+        trace = []
+
+        def worker(tag, period):
+            for _ in range(20):
+                yield period
+                trace.append((sim.now, tag))
+
+        sim.spawn(worker("a", ns(3)))
+        sim.spawn(worker("b", ns(3)))
+        sim.spawn(worker("c", ns(7)))
+        sim.run()
+        assert len(trace) == 60
+        if not hasattr(TestKernelIntegration, "_reference"):
+            TestKernelIntegration._reference = trace
+        else:
+            assert trace == TestKernelIntegration._reference
+
+
+class TestUnifiedFailureSurfacing:
+    """``run`` and ``run_until_triggered`` must surface process
+    failures at identical points: a pre-recorded failure raises before
+    any event executes, a mid-run failure right after its event."""
+
+    @staticmethod
+    def _failing_sim():
+        sim = Simulator()
+
+        def bad():
+            yield ns(1)
+            raise ValueError("boom")
+
+        sim.spawn(bad(), name="badproc")
+        return sim
+
+    def test_run_raises_promptly(self):
+        sim = self._failing_sim()
+        ran_after = []
+        sim.schedule(ns(2), ran_after.append, True)
+        with pytest.raises(ProcessError, match="badproc"):
+            sim.run()
+        assert not ran_after
+
+    def test_run_until_triggered_raises_promptly(self):
+        sim = self._failing_sim()
+        ran_after = []
+        sim.schedule(ns(2), ran_after.append, True)
+        with pytest.raises(ProcessError, match="badproc"):
+            sim.run_until_triggered(sim.event())
+        assert not ran_after
+
+    def test_pending_failure_raises_before_events_in_both_loops(self):
+        for runner in ("run", "run_until_triggered"):
+            sim = self._failing_sim()
+            with pytest.raises(ProcessError):
+                sim.run()
+            # Failure consumed; record another and call the other loop.
+            sim._process_failed(ProcessError("stale", RuntimeError("x")))
+            ran = []
+            sim.schedule(ns(5), ran.append, True)
+            with pytest.raises(ProcessError, match="stale"):
+                if runner == "run":
+                    sim.run()
+                else:
+                    sim.run_until_triggered(sim.event())
+            assert not ran
+
+    def test_scheduler_stats_exposed(self):
+        sim = Simulator()
+        sim.schedule(ns(1), lambda: None)
+        sim.run()
+        stats = sim.scheduler_stats
+        assert stats["scheduler"] == "calendar"
+        assert stats["schedules"] == 1
+        assert stats["executed"] == 1
+        assert stats["peak_depth"] >= 1
