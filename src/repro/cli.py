@@ -43,6 +43,15 @@ lanes, Jain fairness, and p99 isolation::
     virtio-fpga-repro fleetsweep --pods 2 --tenants 8 --queue-pairs 4 -j 2
     virtio-fpga-repro fleetsweep --arbiter weighted --vfs 4
 
+``guestsweep`` runs E-V1 on the guest VM layer: the paper's ping-pong
+sweep re-measured inside a minimal VMM under each interposition mode
+(bare / trap-and-emulate / vhost-style fast path), over the virtio-pci
+or virtio-mmio transport, with a trap-time column in the breakdown::
+
+    virtio-fpga-repro guestsweep --json
+    virtio-fpga-repro guestsweep --modes bare vhost --payloads 64 1024 -j 4
+    virtio-fpga-repro guestsweep --transport mmio --packets 200
+
 ``--jobs/-j`` fans any artifact out over a process pool (bit-identical
 output for any worker count), and ``bench`` records the serial vs
 parallel perf trajectory::
@@ -80,12 +89,31 @@ from repro.core.experiments import (
 )
 from repro.core.results import breakdown_rows
 from repro.workload.arrivals import ARRIVAL_KINDS
+from repro import env
 
-#: Artifacts with a machine-readable rendering behind ``--json``.
-JSON_ARTIFACTS = (
-    "fig3", "fig4", "fig5", "table1", "loadsweep", "faultsweep", "overload",
-    "fleetsweep", "bench",
-)
+#: The artifact registry: subcommand name -> whether it has a
+#: machine-readable ``--json`` rendering.  The parser's choices and the
+#: ``--json`` support list (including its error message) are derived
+#: from this one table, so registering an artifact here is the only
+#: step the CLI surface needs.
+ARTIFACTS = {
+    "fig3": True,
+    "fig4": True,
+    "fig5": True,
+    "table1": True,
+    "claims": False,
+    "loadsweep": True,
+    "faultsweep": True,
+    "overload": True,
+    "fleetsweep": True,
+    "guestsweep": True,
+    "bench": True,
+    "all": False,
+}
+
+#: Artifacts with a machine-readable rendering behind ``--json``
+#: (derived; never hand-edit).
+JSON_ARTIFACTS = tuple(name for name, has_json in ARTIFACTS.items() if has_json)
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -99,16 +127,15 @@ def _parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "artifact",
-        choices=[
-            "fig3", "fig4", "fig5", "table1", "claims", "loadsweep",
-            "faultsweep", "overload", "fleetsweep", "bench", "all",
-        ],
+        choices=list(ARTIFACTS),
         help="which artifact to regenerate (loadsweep: workload-engine "
         "offered-load sweep, beyond the paper; faultsweep: fault-injection "
         "reliability sweep, beyond the paper; overload: overload-protection "
         "sweep/soak with conservation audit, beyond the paper; fleetsweep: "
-        "E-M1 multi-tenant fleet topology sweep, beyond the paper; bench: "
-        "time a serial vs parallel reproduction and write BENCH_<rev>.json)",
+        "E-M1 multi-tenant fleet topology sweep, beyond the paper; "
+        "guestsweep: E-V1 guest-mode latency comparison, beyond the paper; "
+        "bench: time a serial vs parallel reproduction and write "
+        "BENCH_<rev>.json)",
     )
     parser.add_argument(
         "--packets",
@@ -268,6 +295,25 @@ def _parser() -> argparse.ArgumentParser:
         help="DMA bandwidth arbiter across each SR-IOV device's functions "
         "(default: rr)",
     )
+    guest = parser.add_argument_group("guestsweep options")
+    guest.add_argument(
+        "--modes",
+        choices=["bare", "trapped", "vhost"],
+        nargs="+",
+        default=None,
+        metavar="MODE",
+        help="guest modes to sweep: bare, trapped, and/or vhost "
+        "(default: the REPRO_GUEST_MODE env knob if set, else all three)",
+    )
+    guest.add_argument(
+        "--transport",
+        choices=["pci", "mmio"],
+        default="pci",
+        help="VirtIO bus binding the guest drives the device through: "
+        "pci (the paper's path, per-queue MSI-X) or mmio (the 4.2 flat "
+        "register block with one shared interrupt line; virtio driver "
+        "only) (default: pci)",
+    )
     gate = parser.add_argument_group("bench options")
     gate.add_argument(
         "--check",
@@ -306,6 +352,10 @@ def _parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = _parser()
     args = parser.parse_args(argv)
+    try:
+        env.check_environment()
+    except env.EnvError as exc:
+        parser.error(str(exc))
     if args.json and args.artifact not in JSON_ARTIFACTS:
         parser.error(
             f"--json is not supported for {args.artifact!r} "
@@ -541,6 +591,37 @@ def main(argv: Optional[List[str]] = None) -> int:
             file=sys.stderr,
         )
         return 0 if result.verdict == "PASS" else 1
+
+    if args.artifact == "guestsweep":
+        from repro.guest.experiments import run_guest_sweep
+
+        packets = args.packets if args.packets is not None else default_packets(500)
+        payloads = args.payloads if args.payloads is not None else [64, 1024, 8192]
+        if args.modes:
+            modes = tuple(dict.fromkeys(args.modes))  # dedupe, keep order
+        elif env.guest_mode() is not None:
+            modes = (env.guest_mode(),)
+        else:
+            modes = ("bare", "trapped", "vhost")
+        report, _ = run_guest_sweep(
+            payload_sizes=payloads,
+            packets=packets,
+            seed=args.seed,
+            modes=modes,
+            transport=args.transport,
+            jobs=args.jobs if args.jobs is not None else 1,
+        )
+        if args.json:
+            print(json.dumps(report.as_dict(), indent=2))
+        else:
+            print(report.render())
+        print(
+            f"\n[guestsweep/{args.transport}: modes {'+'.join(modes)}, "
+            f"{packets} packets/cell, seed {args.seed}, "
+            f"{time.time() - started:.1f}s]",
+            file=sys.stderr,
+        )
+        return 0
 
     packets = args.packets if args.packets is not None else default_packets()
     payloads = args.payloads if args.payloads is not None else list(PAPER_PAYLOAD_SIZES)

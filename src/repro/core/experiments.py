@@ -17,7 +17,6 @@ cells in-process; output is identical for any worker count).
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence, Tuple
 
@@ -37,19 +36,11 @@ from repro.core.testbed import build_virtio_testbed, build_xdma_testbed
 
 
 def default_packets(fallback: int = 2000) -> int:
-    """Packets per payload size (env-overridable)."""
-    value = os.environ.get("REPRO_PACKETS", "")
-    if value:
-        try:
-            packets = int(value)
-        except ValueError:
-            raise ValueError(
-                f"REPRO_PACKETS must be an integer, got {value!r}"
-            ) from None
-        if packets <= 0:
-            raise ValueError(f"REPRO_PACKETS must be positive, got {packets}")
-        return packets
-    return fallback
+    """Packets per payload size (env-overridable via ``REPRO_PACKETS``,
+    validated by :mod:`repro.env`)."""
+    from repro import env
+
+    return env.packets(fallback)
 
 
 def run_virtio_sweep(

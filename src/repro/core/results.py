@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -24,19 +24,27 @@ class PayloadResult:
     * ``resp_ps`` -- response-generation time (VirtIO only; the paper
       deducts it, Section IV-B).
 
-    The software component is derived: ``rtt - hw - resp``.
+    The software component is derived: ``rtt - hw - resp`` (minus the
+    VMM trap time when a ``trap_ps`` series is attached).
     """
 
     payload: int
     rtt_ps: np.ndarray
     hw_ps: np.ndarray
     resp_ps: np.ndarray
+    #: VMM world-switch time attributable to each round trip
+    #: (experiment E-V1; None outside the guest layer).
+    trap_ps: Optional[np.ndarray] = None
 
     def __post_init__(self) -> None:
         n = len(self.rtt_ps)
         if len(self.hw_ps) != n or len(self.resp_ps) != n:
             raise ValueError(
                 f"series length mismatch: rtt={n} hw={len(self.hw_ps)} resp={len(self.resp_ps)}"
+            )
+        if self.trap_ps is not None and len(self.trap_ps) != n:
+            raise ValueError(
+                f"series length mismatch: rtt={n} trap={len(self.trap_ps)}"
             )
 
     @property
@@ -45,8 +53,18 @@ class PayloadResult:
 
     @property
     def sw_ps(self) -> np.ndarray:
-        """Software-stack latency per packet (never negative)."""
-        return np.maximum(self.rtt_ps - self.hw_ps - self.resp_ps, 0)
+        """Software-stack latency per packet (never negative).  When a
+        VMM trap series is attached, trap time is reported separately
+        rather than inflating the guest-software bar."""
+        sw = self.rtt_ps - self.hw_ps - self.resp_ps
+        if self.trap_ps is not None:
+            sw = sw - self.trap_ps
+        return np.maximum(sw, 0)
+
+    def trap_summary(self) -> LatencySummary:
+        if self.trap_ps is None:
+            raise ValueError("no trap series attached (bare-metal result)")
+        return LatencySummary.from_ps(self.trap_ps)
 
     @property
     def adjusted_rtt_ps(self) -> np.ndarray:

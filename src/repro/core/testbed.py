@@ -40,6 +40,7 @@ from repro.virtio.controller.device import VirtioFpgaDevice
 if TYPE_CHECKING:  # pragma: no cover
     from repro.faults.injector import FaultInjector
     from repro.faults.plan import FaultPlan
+    from repro.guest.vmm import Vmm
     from repro.workload.metrics import RunMetrics
 
 
@@ -61,6 +62,9 @@ class VirtioTestbed:
     function: DiscoveredFunction
     profile: CalibrationProfile
     injector: Optional["FaultInjector"] = None
+    #: Guest VMM interposer, attached by the topology builder when the
+    #: spec carries a GuestSpec with mode != "bare" (None on bare metal).
+    vmm: Optional["Vmm"] = None
 
     @property
     def perf(self):
@@ -103,6 +107,8 @@ class XdmaTestbed:
     function: DiscoveredFunction
     profile: CalibrationProfile
     injector: Optional["FaultInjector"] = None
+    #: Guest VMM interposer (see VirtioTestbed.vmm).
+    vmm: Optional["Vmm"] = None
 
     @property
     def perf(self):

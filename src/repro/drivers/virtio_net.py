@@ -69,6 +69,7 @@ from repro.virtio.net_header import (
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.pcie.enumeration import DiscoveredFunction
+    from repro.virtio.transport import Transport
 
 RECEIVEQ = 0
 TRANSMITQ = 1
@@ -117,10 +118,13 @@ class VirtioNetDriver:
         stack: NetworkStack,
         function: "DiscoveredFunction",
         ifname: str = "virtio0",
+        transport: Optional["Transport"] = None,
     ) -> None:
         self.kernel = kernel
         self.stack = stack
-        self.transport = VirtioPciTransport(kernel, function, name=ifname)
+        if transport is None:
+            transport = VirtioPciTransport(kernel, function, name=ifname)
+        self.transport = transport
         self.ifname = ifname
         self.netdev: Optional[NetDevice] = None
         #: Enabled TX/RX virtqueue pairs (1 until MQ is negotiated).
@@ -227,11 +231,11 @@ class VirtioNetDriver:
                 recheck=partial(self._rx_has_used, pair),
             )
             self.napis.append(napi)
-            rx_vector = transport.queue_vector(rx_queue_index(pair))
-            self.kernel.irqc.register(rx_vector, partial(self._rx_interrupt, pair))
-            tx_vector = transport.queue_vector(tx_queue_index(pair))
-            self.kernel.irqc.register(tx_vector, self._tx_interrupt)
-        self.kernel.irqc.register(transport.config_vector, self._config_interrupt)
+            transport.bind_queue_interrupt(
+                rx_queue_index(pair), partial(self._rx_interrupt, pair)
+            )
+            transport.bind_queue_interrupt(tx_queue_index(pair), self._tx_interrupt)
+        transport.bind_config_interrupt(self._config_interrupt)
 
         # Control queue, when the device exposes one.
         ctrl_index = self.ctrl_queue_index()
@@ -241,9 +245,7 @@ class VirtioNetDriver:
         if self.has_ctrl_vq:
             self._ctrl_buf = self.kernel.alloc_dma(64)
             self._ctrl_status = self.kernel.alloc_dma(16)
-            self.kernel.irqc.register(
-                transport.queue_vector(ctrl_index), self._ctrl_interrupt
-            )
+            transport.bind_queue_interrupt(ctrl_index, self._ctrl_interrupt)
 
         # TX buffer pools; transmitq interrupts are suppressed --
         # completions are cleaned in the xmit path (default Linux
@@ -512,7 +514,7 @@ class VirtioNetDriver:
         reset/re-negotiation work outside the hard-IRQ path."""
         yield self.kernel.cpu("driver_irq_ack")
         yield from self.transport.isr_read()  # read-to-clear
-        status = yield from self.transport.common_read("device_status")
+        status = yield from self.transport.read_device_status()
         if status & STATUS_DEVICE_NEEDS_RESET:
             self.needs_reset_seen += 1
             self._begin_recovery()
@@ -550,25 +552,20 @@ class VirtioNetDriver:
             self._pending[pair].clear()
             self._tx_counts[pair] = 0
         for index in range(len(transport.virtqueues)):
-            self.kernel.irqc.unregister(transport.queue_vector(index))
+            transport.unbind_queue_interrupt(index)
         rx_pools = [list(pool.values()) for pool in self._rx_pools]
         for pool in self._rx_pools:
             pool.clear()
         transport.reset_runtime_state()
         yield from transport.initialize(DRIVER_SUPPORTED)
         for pair in range(self.queue_pairs):
-            self.kernel.irqc.register(
-                transport.queue_vector(rx_queue_index(pair)),
-                partial(self._rx_interrupt, pair),
+            transport.bind_queue_interrupt(
+                rx_queue_index(pair), partial(self._rx_interrupt, pair)
             )
-            self.kernel.irqc.register(
-                transport.queue_vector(tx_queue_index(pair)), self._tx_interrupt
-            )
+            transport.bind_queue_interrupt(tx_queue_index(pair), self._tx_interrupt)
         ctrl_index = self.ctrl_queue_index()
         if self.has_ctrl_vq and len(transport.virtqueues) > ctrl_index:
-            self.kernel.irqc.register(
-                transport.queue_vector(ctrl_index), self._ctrl_interrupt
-            )
+            transport.bind_queue_interrupt(ctrl_index, self._ctrl_interrupt)
         for pair in range(self.queue_pairs):
             transport.queue(tx_queue_index(pair)).set_avail_no_interrupt(True)
         for pair in range(self.queue_pairs):

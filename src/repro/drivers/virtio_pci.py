@@ -97,6 +97,10 @@ class VirtioPciTransport:
         data = yield from self.kernel.mmio_read(self.windows[VIRTIO_PCI_CAP_ISR_CFG].address, 1)
         return data[0]
 
+    def read_device_status(self) -> Generator[Any, Any, int]:
+        status = yield from self.common_read("device_status")
+        return status
+
     # -- capability discovery ---------------------------------------------------------
 
     def discover(self) -> Generator[Any, Any, None]:
@@ -271,3 +275,17 @@ class VirtioPciTransport:
     def queue_vector(self, index: int) -> int:
         """The MSI-X vector assigned to queue *index* at init."""
         return self.queue_vectors_assigned[index]
+
+    # -- interrupt binding (Transport protocol) ------------------------------------
+    #
+    # PCI routes each queue's completions to its own host vector, so a
+    # binding is a plain vector registration.
+
+    def bind_queue_interrupt(self, index: int, handler: Any) -> None:
+        self.kernel.irqc.register(self.queue_vectors_assigned[index], handler)
+
+    def unbind_queue_interrupt(self, index: int) -> None:
+        self.kernel.irqc.unregister(self.queue_vectors_assigned[index])
+
+    def bind_config_interrupt(self, handler: Any) -> None:
+        self.kernel.irqc.register(self.config_vector, handler)

@@ -1,0 +1,131 @@
+"""One validated reader for every ``REPRO_*`` environment knob.
+
+The knobs accumulated across subsystems (packet-count override, event
+scheduler backend, RNG sampling path, buffer-pool debug mode, guest
+mode default), each with its own parsing and its own failure behavior
+-- a typo in one silently fell back to the default while a typo in
+another raised.  This module is the single source of truth: every knob
+is declared here with its accepted values, every reader validates, and
+an unknown value always raises :class:`EnvError` naming the variable,
+the offending value, and what would have been accepted.
+
+The reference table lives in ``docs/architecture.md`` ("Environment
+knobs"); keep the two in sync.
+
+Knobs
+-----
+
+``REPRO_PACKETS``
+    Positive integer: packets per payload size / load point, overriding
+    artifact defaults (the paper used 50000).
+``REPRO_SIM_SCHEDULER``
+    ``calendar`` (default) or ``heap``: the event-queue backend.  Both
+    pop in the same total order, so results never change.
+``REPRO_SIM_SCALAR_RNG``
+    Flag: force the legacy per-draw scalar sampling path instead of
+    block sampling (same draw sequence, slower; a determinism
+    cross-check).
+``REPRO_BUFPOOL_DEBUG``
+    Flag: enable buffer-pool ownership poisoning and double-free
+    checks.
+``REPRO_GUEST_MODE``
+    ``bare``, ``trapped``, or ``vhost``: default guest mode set for the
+    ``guestsweep`` artifact when ``--modes`` is not given (unset: all
+    three modes are swept).
+
+Flags accept ``1`` (on) and ``0`` / unset / empty (off); anything else
+is an error rather than a guess.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Tuple
+
+
+class EnvError(ValueError):
+    """An environment knob holds a value outside its accepted set."""
+
+
+#: knob name -> human-readable accepted-values description (the
+#: architecture doc's table is generated from the docstring above; this
+#: map is what :func:`check_environment` sweeps).
+KNOWN_KNOBS = {
+    "REPRO_PACKETS": "a positive integer",
+    "REPRO_SIM_SCHEDULER": "'calendar' or 'heap'",
+    "REPRO_SIM_SCALAR_RNG": "'1' or '0'",
+    "REPRO_BUFPOOL_DEBUG": "'1' or '0'",
+    "REPRO_GUEST_MODE": "'bare', 'trapped', or 'vhost'",
+}
+
+
+def _raw(name: str) -> str:
+    return os.environ.get(name, "")
+
+
+def _flag(name: str) -> bool:
+    value = _raw(name)
+    if value in ("", "0"):
+        return False
+    if value == "1":
+        return True
+    raise EnvError(
+        f"{name} must be {KNOWN_KNOBS[name]}, got {value!r}"
+    )
+
+
+def _choice(name: str, allowed: Tuple[str, ...]) -> Optional[str]:
+    value = _raw(name)
+    if not value:
+        return None
+    if value not in allowed:
+        raise EnvError(
+            f"{name} must be {KNOWN_KNOBS[name]}, got {value!r}"
+        )
+    return value
+
+
+def packets(fallback: Optional[int] = None) -> Optional[int]:
+    """``REPRO_PACKETS`` as a positive int, or *fallback* when unset."""
+    value = _raw("REPRO_PACKETS")
+    if not value:
+        return fallback
+    try:
+        count = int(value)
+    except ValueError:
+        raise EnvError(
+            f"REPRO_PACKETS must be an integer, got {value!r}"
+        ) from None
+    if count <= 0:
+        raise EnvError(f"REPRO_PACKETS must be positive, got {count}")
+    return count
+
+
+def scheduler() -> str:
+    """``REPRO_SIM_SCHEDULER``, defaulting to ``calendar``."""
+    return _choice("REPRO_SIM_SCHEDULER", ("calendar", "heap")) or "calendar"
+
+
+def scalar_rng() -> bool:
+    """``REPRO_SIM_SCALAR_RNG``: force per-draw scalar sampling."""
+    return _flag("REPRO_SIM_SCALAR_RNG")
+
+
+def bufpool_debug() -> bool:
+    """``REPRO_BUFPOOL_DEBUG``: buffer-pool ownership checking."""
+    return _flag("REPRO_BUFPOOL_DEBUG")
+
+
+def guest_mode() -> Optional[str]:
+    """``REPRO_GUEST_MODE``: default guestsweep mode, or None (all)."""
+    return _choice("REPRO_GUEST_MODE", ("bare", "trapped", "vhost"))
+
+
+def check_environment() -> None:
+    """Validate every set knob at once (CLI startup hook): one clear
+    error up front instead of a late failure deep inside a worker."""
+    packets()
+    scheduler()
+    scalar_rng()
+    bufpool_debug()
+    guest_mode()

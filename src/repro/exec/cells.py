@@ -78,7 +78,10 @@ class Cell:
       testbed (uses ``rate_pps`` as the measured base rate plus
       ``overload`` and ``fault_rate``);
     * ``"fleet"`` -- one pod of the E-M1 tenant-fleet sweep (uses
-      ``pod`` plus the ``fleet`` config; ``packets`` is per tenant).
+      ``pod`` plus the ``fleet`` config; ``packets`` is per tenant);
+    * ``"guest"`` -- one (driver, guest mode, payload) ping-pong
+      measurement of the E-V1 guest sweep (uses ``payload`` plus
+      ``guest_mode`` / ``guest_transport``).
     """
 
     kind: str
@@ -96,6 +99,8 @@ class Cell:
     overload: Optional[object] = None  # repro.workload.OverloadConfig (picklable)
     pod: Optional[int] = None
     fleet: Optional[object] = None  # repro.topology.experiments.FleetConfig
+    guest_mode: Optional[str] = None  # "bare" | "trapped" | "vhost"
+    guest_transport: str = "pci"  # "pci" | "mmio"
 
     @property
     def label(self) -> str:
@@ -112,6 +117,8 @@ class Cell:
             return f"{self.driver}/soak"
         if self.kind == "fleet":
             return f"fleet/pod{self.pod}"
+        if self.kind == "guest":
+            return f"{self.driver}/{self.guest_mode}/{self.payload}B"
         return f"{self.driver}/N={self.outstanding}"
 
 
@@ -133,6 +140,41 @@ def latency_cells(
             seed=derive_cell_seed(seed, "latency", driver, payload),
         )
         for driver in drivers
+        for payload in payload_sizes
+    ]
+
+
+def guest_cells(
+    payload_sizes: Sequence[int],
+    packets: int,
+    seed: int = 0,
+    profile: CalibrationProfile = PAPER_PROFILE,
+    drivers: Sequence[str] = ("virtio", "xdma"),
+    modes: Sequence[str] = ("bare", "trapped", "vhost"),
+    transport: str = "pci",
+) -> list[Cell]:
+    """Driver x guest-mode x payload decomposition of the E-V1 sweep.
+
+    The seed identity is deliberately the *latency* identity (kind
+    "latency", driver, payload), not a guest-specific one: every mode
+    of a (driver, payload) column then boots from the same seed, so the
+    ``bare``/``pci`` column reproduces the plain latency cell
+    byte-identically -- the determinism guard the guest experiments
+    rest on (same discipline as :func:`fault_cells`).
+    """
+    return [
+        Cell(
+            kind="guest",
+            driver=driver,
+            payload=payload,
+            packets=packets,
+            profile=profile,
+            guest_mode=mode,
+            guest_transport=transport,
+            seed=derive_cell_seed(seed, "latency", driver, payload),
+        )
+        for driver in drivers
+        for mode in modes
         for payload in payload_sizes
     ]
 

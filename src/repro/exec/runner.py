@@ -133,6 +133,18 @@ def _execute_cell(cell: Cell) -> CellOutcome:
             events=events,
             wall_s=time.perf_counter() - started,
         )
+    if cell.kind == "guest":
+        # Guest cells boot through the topology builder (the GuestSpec
+        # decides whether a VMM interposes), not the legacy builders.
+        from repro.guest.experiments import execute_guest_cell
+
+        value, events = execute_guest_cell(cell)
+        return CellOutcome(
+            cell=cell,
+            value=value,
+            events=events,
+            wall_s=time.perf_counter() - started,
+        )
     testbed = _builder(cell.driver)(seed=cell.seed, profile=cell.profile)
     if cell.kind == "latency":
         runner = run_virtio_payload if cell.driver == "virtio" else run_xdma_payload

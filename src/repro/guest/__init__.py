@@ -1,0 +1,26 @@
+"""Guest VM layer: a minimal VMM model over the simulated host.
+
+The paper measures both drivers on bare metal; this package adds the
+virtualization axis (the reason VirtIO exists at all): a :class:`Vmm`
+that interposes on MMIO and interrupt delivery with calibrated trap
+costs, and three execution modes wired through
+:class:`repro.topology.spec.GuestSpec`:
+
+``bare``
+    No VMM.  Byte-identical to every pre-guest artifact.
+``trapped``
+    Every MMIO access vmexits into the VMM and vmenters back; every
+    interrupt is VMM-injected.  The full-emulation worst case.
+``vhost``
+    Control path traps as above, but the data path is shortcut
+    KVM-style: doorbell writes exit only into an ioeventfd-class
+    lightweight handler, completion interrupts are irqfd-injected, and
+    direct-mapped windows read without exiting.
+
+Experiment family E-V1 (:func:`repro.guest.experiments.run_guest_sweep`)
+compares the three modes per driver with Fig-4-style breakdowns.
+"""
+
+from repro.guest.vmm import GUEST_MODES, Vmm
+
+__all__ = ["GUEST_MODES", "Vmm"]

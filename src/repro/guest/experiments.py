@@ -1,0 +1,362 @@
+"""Experiment family E-V1: the guest-mode latency comparison.
+
+The paper measures its drivers on bare metal.  Virtualized deployments
+-- the home turf of VirtIO -- add a hypervisor between the driver and
+the device, and the cost of that interposition depends entirely on how
+the data path is wired: full trap-and-emulate, a vhost-style split
+where only the control path traps, or direct assignment.  E-V1 reruns
+the paper's ping-pong sweep (Section III-B3) under each
+:mod:`repro.guest` mode and reports the Fig. 3 RTT curves plus a
+Fig. 4-style breakdown extended with a *trap* column: the VMM
+world-switch time attributable to each round trip, measured by
+snapshotting the VMM's trap accumulator around every packet.
+
+Determinism: guest cells reuse the plain latency cells' seed identity
+(kind "latency", driver, payload), so the ``bare``/``pci`` column boots
+the same machine from the same seed as the paper artifacts and
+reproduces their numbers byte-identically; the other modes differ only
+in what the VMM interposes.  Results merge in cell construction order,
+bit-identical across ``--jobs``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.calibration import (
+    FPGA_IP,
+    PAPER_PAYLOAD_SIZES,
+    PAPER_PROFILE,
+    TEST_DST_PORT,
+    CalibrationProfile,
+    xdma_transfer_size,
+)
+from repro.core.latency import ExperimentError, _collect, _test_payload
+from repro.core.results import PayloadResult, SweepResult
+from repro.core.testbed import VirtioTestbed, XdmaTestbed
+from repro.exec.cells import Cell, guest_cells
+from repro.exec.runner import ExecutionStats, _stats, run_cells
+from repro.guest.vmm import GUEST_MODES
+from repro.host.chardev import sys_poll, sys_read, sys_write
+from repro.sim.time import NS
+from repro.topology.builder import build_from_spec
+from repro.topology.spec import GuestSpec, TopologySpec
+
+
+# -- trap-accounting test applications ----------------------------------------------
+#
+# Byte-for-byte the measurement loops of repro.core.latency, plus a
+# snapshot of the VMM's trap accumulator around each round trip.  The
+# snapshots are plain attribute reads (no yields, no RNG draws), so a
+# bare run of these apps is event-identical to the originals -- the
+# property the golden-parity suite pins down.
+
+
+def _guest_virtio_app(
+    testbed: VirtioTestbed,
+    payload_size: int,
+    packets: int,
+    rtts_ps: List[int],
+    traps_ps: List[int],
+) -> Generator[Any, Any, None]:
+    kernel = testbed.kernel
+    socket = testbed.socket
+    vmm = testbed.vmm
+    for sequence in range(packets):
+        payload = _test_payload(payload_size, sequence)
+        yield kernel.clock.call_cost()
+        t0_ns = kernel.gettime_ns()
+        trap0 = vmm.trap_ps if vmm is not None else 0
+        yield from socket.sendto(payload, FPGA_IP, TEST_DST_PORT)
+        data, _source = yield from socket.recvfrom()
+        yield kernel.clock.call_cost()
+        t1_ns = kernel.gettime_ns()
+        if len(data) != payload_size:
+            raise ExperimentError(
+                f"echo size mismatch: sent {payload_size}B, got {len(data)}B"
+            )
+        rtts_ps.append((t1_ns - t0_ns) * NS)
+        traps_ps.append((vmm.trap_ps - trap0) if vmm is not None else 0)
+        yield kernel.cpu("app_work")
+
+
+def _guest_xdma_app(
+    testbed: XdmaTestbed,
+    transfer_size: int,
+    packets: int,
+    rtts_ps: List[int],
+    traps_ps: List[int],
+) -> Generator[Any, Any, None]:
+    kernel = testbed.kernel
+    driver = testbed.driver
+    vmm = testbed.vmm
+    use_poll = testbed.profile.xdma_c2h_interrupt
+    for sequence in range(packets):
+        payload = _test_payload(transfer_size, sequence)
+        yield kernel.clock.call_cost()
+        t0_ns = kernel.gettime_ns()
+        trap0 = vmm.trap_ps if vmm is not None else 0
+        written = yield from sys_write(kernel, driver, payload)
+        if written != transfer_size:
+            raise ExperimentError(f"short write: {written} of {transfer_size}")
+        if use_poll:
+            yield from sys_poll(kernel, driver)
+        data = yield from sys_read(kernel, driver, transfer_size)
+        yield kernel.clock.call_cost()
+        t1_ns = kernel.gettime_ns()
+        if len(data) != transfer_size:
+            raise ExperimentError(f"short read: {len(data)} of {transfer_size}")
+        rtts_ps.append((t1_ns - t0_ns) * NS)
+        traps_ps.append((vmm.trap_ps - trap0) if vmm is not None else 0)
+        yield kernel.cpu("app_work")
+
+
+def run_guest_virtio_payload(
+    testbed: VirtioTestbed, payload_size: int, packets: int
+) -> PayloadResult:
+    """One payload of the VirtIO ping-pong with trap accounting."""
+    if packets <= 0:
+        raise ValueError(f"packets must be positive, got {packets}")
+    perf = testbed.perf
+    perf.clear()
+    rtts: List[int] = []
+    traps: List[int] = []
+    app = testbed.sim.spawn(
+        _guest_virtio_app(testbed, payload_size, packets, rtts, traps),
+        name="virtio-app",
+    )
+    testbed.sim.run_until_triggered(app)
+    strict = testbed.injector is None
+    hw = _collect(perf, "virtio_h2c", packets, strict) + _collect(
+        perf, "virtio_c2h", packets, strict
+    )
+    resp = _collect(perf, "virtio_resp", packets, strict)
+    return PayloadResult(
+        payload=payload_size,
+        rtt_ps=np.asarray(rtts, dtype=np.int64),
+        hw_ps=hw,
+        resp_ps=resp,
+        trap_ps=np.asarray(traps, dtype=np.int64) if testbed.vmm is not None else None,
+    )
+
+
+def run_guest_xdma_payload(
+    testbed: XdmaTestbed, payload_size: int, packets: int
+) -> PayloadResult:
+    """One payload of the XDMA ping-pong with trap accounting."""
+    if packets <= 0:
+        raise ValueError(f"packets must be positive, got {packets}")
+    perf = testbed.perf
+    perf.clear()
+    transfer = xdma_transfer_size(payload_size)
+    rtts: List[int] = []
+    traps: List[int] = []
+    app = testbed.sim.spawn(
+        _guest_xdma_app(testbed, transfer, packets, rtts, traps), name="xdma-app"
+    )
+    testbed.sim.run_until_triggered(app)
+    strict = testbed.injector is None
+    hw = _collect(perf, "h2c0_dma", packets, strict) + _collect(
+        perf, "c2h0_dma", packets, strict
+    )
+    return PayloadResult(
+        payload=payload_size,
+        rtt_ps=np.asarray(rtts, dtype=np.int64),
+        hw_ps=hw,
+        resp_ps=np.zeros(packets, dtype=np.int64),
+        trap_ps=np.asarray(traps, dtype=np.int64) if testbed.vmm is not None else None,
+    )
+
+
+# -- cell worker --------------------------------------------------------------------
+
+
+def execute_guest_cell(cell: Cell) -> Tuple[Tuple[PayloadResult, Dict[str, Any]], int]:
+    """Worker body for ``kind="guest"`` cells.
+
+    Returns ``((payload result, VMM counters), events)``.  The counters
+    are cumulative over the cell (boot + measurement), empty for bare.
+    """
+    guest = GuestSpec(mode=cell.guest_mode or "bare", transport=cell.guest_transport)
+    if cell.driver == "virtio":
+        spec = TopologySpec.single_virtio(guest)
+        runner = run_guest_virtio_payload
+    elif cell.driver == "xdma":
+        spec = TopologySpec.single_xdma(guest)
+        runner = run_guest_xdma_payload
+    else:
+        raise ValueError(f"unknown guest-cell driver {cell.driver!r}")
+    testbed = build_from_spec(spec, seed=cell.seed, profile=cell.profile)
+    result = runner(testbed, cell.payload, cell.packets)
+    stats = dict(testbed.vmm.stats) if testbed.vmm is not None else {}
+    return (result, stats), testbed.sim.events_executed
+
+
+# -- the sweep ----------------------------------------------------------------------
+
+
+@dataclass
+class GuestModeSweep:
+    """One (driver, mode) column of the E-V1 comparison."""
+
+    mode: str
+    sweep: SweepResult
+    #: payload -> cumulative VMM counters for that cell (empty for bare).
+    vmm_stats: Dict[int, Dict[str, Any]] = field(default_factory=dict)
+
+    def breakdown_rows(self) -> List[Dict[str, float]]:
+        """Fig. 4-style rows with the trap share broken out."""
+        rows: List[Dict[str, float]] = []
+        for payload in self.sweep.payload_sizes():
+            result = self.sweep[payload]
+            hw = result.hw_summary()
+            sw = result.sw_summary()
+            if result.trap_ps is not None:
+                trap = result.trap_summary()
+                trap_mean, trap_std = trap.mean_us, trap.std_us
+            else:
+                trap_mean = trap_std = 0.0
+            rows.append(
+                {
+                    "payload": payload,
+                    "hw_mean_us": hw.mean_us,
+                    "hw_std_us": hw.std_us,
+                    "sw_mean_us": sw.mean_us,
+                    "sw_std_us": sw.std_us,
+                    "trap_mean_us": trap_mean,
+                    "trap_std_us": trap_std,
+                    "total_mean_us": hw.mean_us + sw.mean_us + trap_mean,
+                }
+            )
+        return rows
+
+
+@dataclass
+class GuestSweepReport:
+    """The full E-V1 result: driver x mode sweeps over one payload set."""
+
+    seed: int
+    packets: int
+    transport: str
+    modes: Tuple[str, ...]
+    drivers: Tuple[str, ...]
+    #: driver -> mode -> that column's sweep.
+    results: Dict[str, Dict[str, GuestModeSweep]] = field(default_factory=dict)
+
+    def column(self, driver: str, mode: str) -> GuestModeSweep:
+        return self.results[driver][mode]
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Machine-readable report (the CLI's ``--json`` rendering)."""
+        out: Dict[str, Any] = {
+            "experiment": "E-V1",
+            "seed": self.seed,
+            "packets": self.packets,
+            "transport": self.transport,
+            "modes": list(self.modes),
+            "drivers": list(self.drivers),
+            "results": {},
+        }
+        for driver in self.drivers:
+            out["results"][driver] = {}
+            for mode in self.modes:
+                column = self.results[driver][mode]
+                per_payload = {}
+                for row in column.breakdown_rows():
+                    payload = int(row["payload"])
+                    result = column.sweep[payload]
+                    summary = result.rtt_summary()
+                    tails = result.tail_latencies_us()
+                    per_payload[str(payload)] = {
+                        "rtt_mean_us": summary.mean_us,
+                        "rtt_std_us": summary.std_us,
+                        "p95_us": tails[95.0],
+                        "p99_us": tails[99.0],
+                        "p999_us": tails[99.9],
+                        "hw_mean_us": row["hw_mean_us"],
+                        "sw_mean_us": row["sw_mean_us"],
+                        "trap_mean_us": row["trap_mean_us"],
+                        "vmm": column.vmm_stats.get(payload, {}),
+                    }
+                out["results"][driver][mode] = per_payload
+        return out
+
+    def render(self) -> str:
+        """Text rendering: one breakdown block per driver x mode."""
+        lines = [
+            f"E-V1 guest sweep: transport={self.transport} seed={self.seed} "
+            f"packets={self.packets}"
+        ]
+        for driver in self.drivers:
+            for mode in self.modes:
+                column = self.results[driver][mode]
+                lines.append("")
+                lines.append(f"-- {driver} / {mode} --")
+                lines.append(
+                    f"{'payload':>8} {'rtt mean':>9} {'hw mean':>9} {'sw mean':>9} "
+                    f"{'trap mean':>10} {'total':>9}  (us)"
+                )
+                for row in column.breakdown_rows():
+                    payload = int(row["payload"])
+                    rtt = column.sweep[payload].rtt_summary()
+                    lines.append(
+                        f"{payload:>8} {rtt.mean_us:>9.1f} {row['hw_mean_us']:>9.1f} "
+                        f"{row['sw_mean_us']:>9.1f} {row['trap_mean_us']:>10.2f} "
+                        f"{row['total_mean_us']:>9.1f}"
+                    )
+        return "\n".join(lines)
+
+
+def run_guest_sweep(
+    payload_sizes: Sequence[int] = PAPER_PAYLOAD_SIZES,
+    packets: int = 2000,
+    seed: int = 0,
+    profile: CalibrationProfile = PAPER_PROFILE,
+    modes: Sequence[str] = GUEST_MODES,
+    transport: str = "pci",
+    drivers: Sequence[str] = ("virtio", "xdma"),
+    jobs: int = 1,
+) -> Tuple[GuestSweepReport, ExecutionStats]:
+    """E-V1: the ping-pong sweep under each guest mode.
+
+    With ``transport="mmio"`` the XDMA driver is dropped from
+    *drivers* -- XDMA has no VirtIO transport to rebind (the spec layer
+    rejects the combination outright).
+    """
+    for mode in modes:
+        if mode not in GUEST_MODES:
+            raise ValueError(f"unknown guest mode {mode!r} (expected {GUEST_MODES})")
+    if transport == "mmio":
+        drivers = tuple(d for d in drivers if d != "xdma")
+        if not drivers:
+            raise ValueError("the mmio transport needs the virtio driver")
+    started = time.perf_counter()
+    cells = guest_cells(
+        payload_sizes, packets, seed, profile, tuple(drivers), tuple(modes), transport
+    )
+    outcomes = run_cells(cells, jobs)
+    report = GuestSweepReport(
+        seed=seed,
+        packets=packets,
+        transport=transport,
+        modes=tuple(modes),
+        drivers=tuple(drivers),
+    )
+    for outcome in outcomes:  # cell construction order: driver, mode, payload
+        cell = outcome.cell
+        payload_result, vmm_counters = outcome.value
+        column = report.results.setdefault(cell.driver, {}).setdefault(
+            cell.guest_mode,
+            GuestModeSweep(
+                mode=cell.guest_mode,
+                sweep=SweepResult(driver=cell.driver, seed=seed),
+            ),
+        )
+        column.sweep.add(payload_result)
+        if vmm_counters:
+            column.vmm_stats[cell.payload] = vmm_counters
+    return report, _stats(outcomes, jobs, time.perf_counter() - started)

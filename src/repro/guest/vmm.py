@@ -1,0 +1,180 @@
+"""The VMM model: trap-cost interposition on MMIO and interrupts.
+
+A deliberately small hypervisor: it does not *translate* anything (the
+simulated guest already shares the host address space, like a 1:1
+identity-mapped guest), it *charges* for the world switches a real
+hypervisor would take on each device access:
+
+* **MMIO write** -- in ``trapped`` mode the store faults: ``vmexit``,
+  the VMM performs the access, ``vmentry``.  In ``vhost`` mode a write
+  landing in a registered *fast window* (a queue doorbell) takes the
+  ioeventfd path instead: a lightweight ``vhost_doorbell`` exit that
+  never reaches the VMM's emulator.
+* **MMIO read** -- reads are non-posted and always trap in ``trapped``
+  mode (``vmexit`` + access + ``vmentry``).  In ``vhost`` mode a read
+  from a fast window is direct-mapped (no exit at all; vhost devices
+  place the rings and ISR state in shared memory), everything else
+  traps.
+* **Interrupt** -- a device MSI terminates in the VMM, which injects it
+  into the guest: ``irq_inject`` before the guest handler runs.  Fast
+  *vectors* (vhost completion interrupts) use the irqfd shortcut,
+  ``vhost_irq_inject``.
+
+Costs are ordinary :class:`~repro.host.costs.CostModel` segments
+(``vmexit``/``vmentry``/``irq_inject``/``vhost_doorbell``/
+``vhost_irq_inject``), so they carry the same body jitter and
+interference noise as every other software segment, and bare-metal runs
+-- which never sample them -- keep their draw sequences untouched.
+
+The Vmm is intentionally *not* a :class:`~repro.sim.component.Component`:
+component names seed RNG streams, and attaching one would disturb the
+byte-parity of everything downstream.  It borrows the kernel's
+``cpu()`` sampler instead, which is also what a real trap costs: host
+CPU time.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, List, Set, Tuple
+
+from repro.sim.time import SimTime
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.host.kernel import HostKernel
+
+#: Guest execution modes, in cost order (bare < vhost < trapped).
+GUEST_MODES = ("bare", "trapped", "vhost")
+
+
+class Vmm:
+    """Interposer charging world-switch costs on device accesses.
+
+    Attach with :meth:`attach` *after* the :class:`HostKernel` exists
+    and *before* the driver probes, so every access -- including
+    enumeration and initialization -- pays virtualization's price,
+    exactly as a guest's boot-time config cycles do.
+    """
+
+    def __init__(self, kernel: "HostKernel", mode: str) -> None:
+        if mode not in ("trapped", "vhost"):
+            raise ValueError(
+                f"Vmm mode must be 'trapped' or 'vhost' (bare runs have no "
+                f"Vmm), got {mode!r}"
+            )
+        self.kernel = kernel
+        self.mode = mode
+        #: vhost fast MMIO windows: ``[(base, end), ...)`` half-open.
+        self.fast_windows: List[Tuple[int, int]] = []
+        #: vhost fast (irqfd) vectors.
+        self.fast_vectors: Set[int] = set()
+        #: Total world-switch time charged, ps (per-packet snapshots are
+        #: differences of this counter).
+        self.trap_ps: SimTime = 0
+        self.vmexits = 0
+        self.irq_injects = 0
+        self.vhost_doorbells = 0
+        self.vhost_irq_injects = 0
+        self.fast_reads = 0
+
+    # -- wiring -------------------------------------------------------------------
+
+    def attach(self) -> None:
+        """Install on the kernel's MMIO paths and IRQ registration."""
+        if self.kernel.vmm is not None:
+            raise RuntimeError("kernel already has a Vmm attached")
+        self.kernel.vmm = self
+        self.kernel.irqc.inject_wrap = self._wrap_handler
+
+    def add_fast_window(self, base: int, length: int) -> None:
+        """Register ``[base, base+length)`` as a vhost fast window
+        (ioeventfd for writes, direct-mapped for reads)."""
+        self.fast_windows.append((base, base + length))
+
+    def add_fast_vector(self, vector: int) -> None:
+        """Register *vector* for irqfd-style injection."""
+        self.fast_vectors.add(vector)
+
+    def _is_fast(self, addr: int) -> bool:
+        for base, end in self.fast_windows:
+            if base <= addr < end:
+                return True
+        return False
+
+    # -- MMIO interposition --------------------------------------------------------
+
+    def mmio_write(self, addr: int, data: bytes) -> SimTime:
+        """The kernel's posted-write path, virtualized (same contract:
+        issue the TLP now, return the CPU cost to yield)."""
+        kernel = self.kernel
+        if self.mode == "vhost" and self._is_fast(addr):
+            # ioeventfd: the store still exits, but into a lightweight
+            # in-kernel handler that signals the backend -- no emulator.
+            kernel.rc.mmio_write(addr, data)
+            base = kernel.cpu("mmio_write_cpu")
+            extra = kernel.cpu("vhost_doorbell")
+            self.vhost_doorbells += 1
+            self.trap_ps += extra
+            return base + extra
+        exit_cost = kernel.cpu("vmexit")
+        kernel.rc.mmio_write(addr, data)
+        base = kernel.cpu("mmio_write_cpu")
+        entry_cost = kernel.cpu("vmentry")
+        self.vmexits += 1
+        self.trap_ps += exit_cost + entry_cost
+        return exit_cost + base + entry_cost
+
+    def mmio_read(self, addr: int, length: int) -> Generator[Any, Any, bytes]:
+        """The kernel's non-posted-read path, virtualized."""
+        kernel = self.kernel
+        if self.mode == "vhost" and self._is_fast(addr):
+            # Direct-mapped: vhost keeps the data-path state in shared
+            # memory, so the guest load never exits.
+            self.fast_reads += 1
+            yield kernel.cpu("mmio_read_extra")
+            data = yield kernel.rc.mmio_read(addr, length)
+            return data
+        exit_cost = kernel.cpu("vmexit")
+        self.vmexits += 1
+        self.trap_ps += exit_cost
+        yield exit_cost
+        yield kernel.cpu("mmio_read_extra")
+        data = yield kernel.rc.mmio_read(addr, length)
+        entry_cost = kernel.cpu("vmentry")
+        self.trap_ps += entry_cost
+        yield entry_cost
+        return data
+
+    # -- interrupt interposition ----------------------------------------------------
+
+    def _wrap_handler(self, vector: int, factory):
+        """Decorate a handler factory with injection cost.  The fast-
+        vector check happens at *dispatch* time, so vectors promoted to
+        irqfd after registration (vhost wiring runs post-probe) take
+        the shortcut from then on."""
+
+        def injected() -> Generator[Any, Any, None]:
+            if self.mode == "vhost" and vector in self.fast_vectors:
+                cost = self.kernel.cpu("vhost_irq_inject")
+                self.vhost_irq_injects += 1
+            else:
+                cost = self.kernel.cpu("irq_inject")
+                self.irq_injects += 1
+            self.trap_ps += cost
+            yield cost
+            yield from factory()
+
+        return injected
+
+    # -- diagnostics ----------------------------------------------------------------
+
+    @property
+    def stats(self) -> dict:
+        return {
+            "mode": self.mode,
+            "vmexits": self.vmexits,
+            "irq_injects": self.irq_injects,
+            "vhost_doorbells": self.vhost_doorbells,
+            "vhost_irq_injects": self.vhost_irq_injects,
+            "fast_reads": self.fast_reads,
+            "trap_us": self.trap_ps / 1e6,
+        }

@@ -213,7 +213,18 @@ def default_cost_model(jitter_sigma: float = 0.10,
     virtio_get_buf               virtqueue_get_buf + detach
     poll_syscall                 poll()/epoll_wait dispatch overhead
     app_work                     user-space loop body around the calls
+    vmexit                       guest: VM exit (world switch out)
+    vmentry                      guest: VM entry (world switch back)
+    irq_inject                   guest: VMM-emulated interrupt inject
+    vhost_doorbell               guest: ioeventfd-style doorbell exit
+    vhost_irq_inject             guest: irqfd-style interrupt inject
     ===========================  ======================================
+
+    The five ``vmexit``/``vmentry``/``irq_inject``/``vhost_doorbell``/
+    ``vhost_irq_inject`` segments are consumed only when a
+    :class:`repro.guest.Vmm` is attached (guest mode ``trapped`` or
+    ``vhost``); bare-metal runs never sample them, so adding them here
+    is draw-sequence neutral.  Calibration notes: docs/calibration.md.
     """
     segs = {
         "syscall_entry": _seg(260, jitter_sigma),
@@ -244,6 +255,11 @@ def default_cost_model(jitter_sigma: float = 0.10,
         "virtio_get_buf": _seg(260, jitter_sigma),
         "poll_syscall": _seg(320, jitter_sigma),
         "app_work": _seg(220, jitter_sigma),
+        "vmexit": _seg(900, jitter_sigma),
+        "vmentry": _seg(700, jitter_sigma),
+        "irq_inject": _seg(1800, jitter_sigma),
+        "vhost_doorbell": _seg(350, jitter_sigma),
+        "vhost_irq_inject": _seg(600, jitter_sigma),
     }
     return CostModel(
         segments=segs,

@@ -44,6 +44,11 @@ class InterruptController(Component):
         self.injector = None
         self.msis_lost = 0
         self.msis_duplicated = 0
+        #: Handler decorator installed by :class:`repro.guest.Vmm`:
+        #: ``wrap(vector, factory) -> factory`` charging injection costs
+        #: before the guest handler runs.  Applied at registration time
+        #: so dispatch (spawn names, unregister-by-vector) is untouched.
+        self.inject_wrap: Optional[Callable[[int, HandlerFactory], HandlerFactory]] = None
 
     def allocate_vector(self) -> int:
         """Allocate a system-unique interrupt vector (the model's
@@ -56,6 +61,8 @@ class InterruptController(Component):
     def register(self, vector: int, handler: HandlerFactory) -> None:
         if vector in self._handlers:
             raise ValueError(f"vector {vector} already has a handler")
+        if self.inject_wrap is not None:
+            handler = self.inject_wrap(vector, handler)
         self._handlers[vector] = handler
 
     def unregister(self, vector: int) -> None:

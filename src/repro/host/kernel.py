@@ -19,7 +19,6 @@ software model uses:
 from __future__ import annotations
 
 import math
-import os
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
 import numpy as np
@@ -82,6 +81,9 @@ class HostKernel(Component):
         # early creation does not change any draw sequence.
         self._cpu_rng = self.rng("cpu")
         self._interference_rng = self.rng("interference")
+        #: Hypervisor interposer (:class:`repro.guest.Vmm`); ``None``
+        #: means bare metal and the MMIO paths below run untouched.
+        self.vmm = None
 
     # -- CPU time ---------------------------------------------------------------
 
@@ -122,7 +124,9 @@ class HostKernel(Component):
         # interleave normals and uniforms on the cpu stream, which
         # blocks cannot reproduce; those models use the scalar path.
         segments = model.segments.values()
-        if os.environ.get(SCALAR_RNG_ENV) or any(m.tail_prob > 0.0 for m in segments):
+        from repro import env
+
+        if env.scalar_rng() or any(m.tail_prob > 0.0 for m in segments):
             self._vector_mode = "scalar"
         else:
             sigmas = {m.jitter_sigma for m in segments if m.jitter_sigma > 0.0}
@@ -236,7 +240,13 @@ class HostKernel(Component):
 
     def mmio_write(self, addr: int, data: bytes) -> SimTime:
         """Posted MMIO write: issues the TLP immediately; returns the
-        CPU-side cost for the caller to yield."""
+        CPU-side cost for the caller to yield.
+
+        With a VMM attached the access traps (or takes the vhost
+        doorbell shortcut); the VMM performs the identical write plus
+        its world-switch costs."""
+        if self.vmm is not None:
+            return self.vmm.mmio_write(addr, data)
         self.rc.mmio_write(addr, data)
         return self.cpu("mmio_write_cpu")
 
@@ -245,7 +255,12 @@ class HostKernel(Component):
         round trip plus a small CPU-side overhead.  Usage::
 
             value = yield from kernel.mmio_read(addr, 4)
-        """
+
+        With a VMM attached the read traps (reads always exit unless
+        the window is direct-mapped in vhost mode)."""
+        if self.vmm is not None:
+            data = yield from self.vmm.mmio_read(addr, length)
+            return data
         yield self.cpu("mmio_read_extra")
         data = yield self.rc.mmio_read(addr, length)
         return data

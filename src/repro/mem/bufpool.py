@@ -33,7 +33,6 @@ protocol: resizing a ``bytearray`` with exported buffers raises
 
 from __future__ import annotations
 
-import os
 from typing import Dict, List
 
 
@@ -42,7 +41,9 @@ class BufferPoolError(RuntimeError):
 
 
 def _env_debug() -> bool:
-    return os.environ.get("REPRO_BUFPOOL_DEBUG", "") not in ("", "0")
+    from repro import env
+
+    return env.bufpool_debug()
 
 
 def _bucket(length: int, minimum: int) -> int:

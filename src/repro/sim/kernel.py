@@ -21,7 +21,6 @@ models live in higher layers and interact only through ``schedule``,
 
 from __future__ import annotations
 
-import os
 from typing import Any, Callable, Dict, Iterable, Optional, Tuple
 
 import numpy as np
@@ -64,7 +63,9 @@ class Simulator:
     def __init__(self, seed: int = 0, scheduler: Optional[str] = None) -> None:
         self._now: SimTime = 0
         if scheduler is None:
-            scheduler = os.environ.get(SCHEDULER_ENV) or "calendar"
+            from repro import env
+
+            scheduler = env.scheduler()
         try:
             self._q = make_queue(scheduler)
         except ValueError as exc:

@@ -50,7 +50,7 @@ from repro.pcie.switch import PcieSwitch
 from repro.sim.kernel import Simulator
 from repro.sim.time import ns
 from repro.sim.trace import Tracer
-from repro.topology.spec import FunctionSpec, TopologySpec
+from repro.topology.spec import FunctionSpec, GuestSpec, TopologySpec
 from repro.virtio.controller.arbiter import DmaBandwidthArbiter
 from repro.virtio.controller.device import VirtioFpgaDevice
 from repro.virtio.controller.net import VirtioNetPersonality
@@ -149,14 +149,32 @@ def build_from_spec(
     if len(spec.devices) == 1 and not spec.switch and not spec.devices[0].is_sriov:
         kind = spec.devices[0].kind
         if kind == "virtio-net" and spec.devices[0].functions[0].queue_pairs == 1:
-            return _build_single_virtio(seed, profile, tracer, user_logic, fault_plan)
+            return _build_single_virtio(
+                seed, profile, tracer, user_logic, fault_plan, guest=spec.guest
+            )
         if kind == "xdma":
-            return _build_single_xdma(seed, profile, tracer, bram_size, fault_plan)
+            return _build_single_xdma(
+                seed, profile, tracer, bram_size, fault_plan, guest=spec.guest
+            )
         if kind == "virtio-console":
             return _build_single_console(seed, profile, echo)
         if kind == "virtio-blk":
             return _build_single_block(seed, profile, capacity_sectors)
     return build_fleet(spec, seed=seed, profile=profile, tracer=tracer)
+
+
+def _attach_vmm(kernel: HostKernel, guest: Optional[GuestSpec]):
+    """A Vmm for non-bare guests, already attached; None otherwise.
+
+    Must run before the driver probe so registration-time interrupt
+    wrapping and trap accounting cover initialization too."""
+    if guest is None or guest.mode == "bare":
+        return None
+    from repro.guest import Vmm
+
+    vmm = Vmm(kernel, guest.mode)
+    vmm.attach()
+    return vmm
 
 
 # -- legacy single-endpoint paths (byte-identity constrained) -----------------------
@@ -172,7 +190,9 @@ def _build_single_virtio(
     tracer: Optional[Tracer],
     user_logic: Optional[UserLogic],
     fault_plan: Optional["FaultPlan"],
+    guest: Optional[GuestSpec] = None,
 ) -> VirtioTestbed:
+    mmio_transport = guest is not None and guest.transport == "mmio"
     sim = Simulator(seed=seed)
     rc = RootComplex(
         sim, memory_read_latency_ns=profile.host_memory_read_ns, tracer=tracer
@@ -197,18 +217,42 @@ def _build_single_virtio(
         fsm_cycles=profile.virtio_fsm_cycles,
         rx_prefetch=profile.rx_prefetch,
         tracer=tracer,
+        mmio_window=mmio_transport,
     )
     device.xdma.endpoint.completer_latency = ns(profile.endpoint_completer_ns)
 
     functions = _boot(sim, rc)
     function = functions[0]
 
-    driver = VirtioNetDriver(kernel, stack, function)
+    vmm = _attach_vmm(kernel, guest)
+    if mmio_transport:
+        from repro.drivers.virtio_mmio import VirtioMmioTransport
+
+        transport = VirtioMmioTransport(kernel, function, name="virtio0")
+        driver = VirtioNetDriver(kernel, stack, function, transport=transport)
+    else:
+        driver = VirtioNetDriver(kernel, stack, function)
     probe = sim.spawn(driver.probe(HOST_IP), name="virtio-net-probe")
     sim.run_until_triggered(probe)
     # Drain in-flight posted writes and the device's RX-buffer prefetch
     # so experiments start from a quiescent, fully initialized machine.
     sim.run()
+
+    if vmm is not None and vmm.mode == "vhost":
+        # Vhost wiring happens after the probe (the backend learns the
+        # doorbells and completion vectors from the negotiated state):
+        # queue notifies become ioeventfds, completion interrupts irqfds.
+        transport = driver.transport
+        if mmio_transport:
+            from repro.virtio.mmio_transport import MMIO_QUEUE_NOTIFY
+
+            vmm.add_fast_window(transport.base + MMIO_QUEUE_NOTIFY, 4)
+            vmm.add_fast_vector(transport.host_vector)
+        else:
+            for addr in transport.notify_addrs:
+                vmm.add_fast_window(addr, 4)
+            for vector in transport.queue_vectors_assigned:
+                vmm.add_fast_vector(vector)
 
     # Routing + static ARP, as the paper's setup prescribes.
     stack.routes.add(Route(network=FPGA_IP & 0xFFFF_FF00, prefix_len=24, device="virtio0"))
@@ -227,6 +271,7 @@ def _build_single_virtio(
         user_logic=logic,
         function=function,
         profile=profile,
+        vmm=vmm,
     )
     if fault_plan is not None:
         from repro.faults.injector import attach_fault_plan
@@ -241,6 +286,7 @@ def _build_single_xdma(
     tracer: Optional[Tracer],
     bram_size: int,
     fault_plan: Optional["FaultPlan"],
+    guest: Optional[GuestSpec] = None,
 ) -> XdmaTestbed:
     sim = Simulator(seed=seed)
     rc = RootComplex(
@@ -256,10 +302,21 @@ def _build_single_xdma(
     functions = _boot(sim, rc)
     function = functions[0]
 
+    vmm = _attach_vmm(kernel, guest)
     driver = XdmaCharDriver(kernel, function)
     probe = sim.spawn(driver.probe(), name="xdma-probe")
     sim.run_until_triggered(probe)
     sim.run()  # drain in-flight posted register writes
+
+    if vmm is not None and vmm.mode == "vhost":
+        # XDMA's "vhost" analogue is VFIO-style direct assignment: the
+        # DMA register BAR is mapped into the guest (doorbell-class
+        # exits on stores, no exits on loads) and engine interrupts are
+        # posted irqfd-style.  Control accesses outside BAR1 still trap.
+        bar1 = function.bars[1]
+        vmm.add_fast_window(bar1.address, bar1.size)
+        for vector in (driver.h2c_vector, driver.c2h_vector, driver.user_vector):
+            vmm.add_fast_vector(vector)
     if profile.xdma_c2h_interrupt:
         # A1 ablation: fabric logic watches the H2C engine's status,
         # processes the received data (byte-serial passes, like the
@@ -284,7 +341,8 @@ def _build_single_xdma(
         engine.completion_hook = _process_then_notify
 
     testbed = XdmaTestbed(
-        sim=sim, kernel=kernel, xdma=xdma, driver=driver, function=function, profile=profile
+        sim=sim, kernel=kernel, xdma=xdma, driver=driver, function=function,
+        profile=profile, vmm=vmm,
     )
     if fault_plan is not None:
         from repro.faults.injector import attach_fault_plan

@@ -46,6 +46,45 @@ class TopologyError(ValueError):
     """Invalid topology specification."""
 
 
+#: Guest execution modes (see :mod:`repro.guest`).
+GUEST_MODES = ("bare", "trapped", "vhost")
+#: VirtIO bus bindings a guest can drive the device through.
+GUEST_TRANSPORTS = ("pci", "mmio")
+
+
+@dataclass(frozen=True)
+class GuestSpec:
+    """The guest/hypervisor dimension of a machine.
+
+    Parameters
+    ----------
+    mode:
+        ``bare`` (no VMM; byte-identical to pre-guest artifacts),
+        ``trapped`` (every MMIO access and interrupt goes through the
+        VMM with world-switch costs), or ``vhost`` (control path traps,
+        data path takes ioeventfd/irqfd shortcuts).
+    transport:
+        VirtIO bus binding: ``pci`` (the paper's path, per-queue MSI-X)
+        or ``mmio`` (the 4.2 flat register block with one shared
+        interrupt line).  XDMA has no VirtIO transport, so ``mmio``
+        requires a virtio-net device.
+    """
+
+    mode: str = "bare"
+    transport: str = "pci"
+
+    def __post_init__(self) -> None:
+        if self.mode not in GUEST_MODES:
+            raise TopologyError(
+                f"unknown guest mode {self.mode!r} (expected one of {GUEST_MODES})"
+            )
+        if self.transport not in GUEST_TRANSPORTS:
+            raise TopologyError(
+                f"unknown guest transport {self.transport!r} "
+                f"(expected one of {GUEST_TRANSPORTS})"
+            )
+
+
 @dataclass(frozen=True)
 class FunctionSpec:
     """One (virtual) function of a physical device.
@@ -115,6 +154,9 @@ class TopologySpec:
     switch: bool = False
     #: Shared uplink of the switch (default: the profile's link config).
     uplink: Optional[LinkConfig] = None
+    #: Guest/hypervisor layer (None == bare metal, same as
+    #: ``GuestSpec(mode="bare")`` on a legacy single-endpoint spec).
+    guest: Optional[GuestSpec] = None
 
     def __post_init__(self) -> None:
         if not self.devices:
@@ -126,6 +168,25 @@ class TopologySpec:
                 f"{self.total_functions} functions exceed the addressing plan "
                 "(MACs/IPs are allocated from a 200-entry range)"
             )
+        if self.guest is not None:
+            if not self.is_single_legacy:
+                raise TopologyError(
+                    "the guest layer is modeled for single-endpoint machines "
+                    "(one device, one function, one queue pair, no switch)"
+                )
+            if self.devices[0].kind not in ("virtio-net", "xdma"):
+                raise TopologyError(
+                    "the guest layer is modeled for the paper's two drivers "
+                    f"(virtio-net, xdma), not {self.devices[0].kind!r}"
+                )
+            if (
+                self.guest.transport == "mmio"
+                and self.devices[0].kind != "virtio-net"
+            ):
+                raise TopologyError(
+                    "the virtio-mmio transport requires a virtio-net device, "
+                    f"not {self.devices[0].kind!r}"
+                )
 
     # -- derived shape -------------------------------------------------------
 
@@ -156,14 +217,16 @@ class TopologySpec:
     # -- canonical shapes ----------------------------------------------------
 
     @classmethod
-    def single_virtio(cls) -> "TopologySpec":
-        """The paper's VirtIO NIC machine (Section III-B1)."""
-        return cls(devices=(DeviceSpec(kind="virtio-net"),))
+    def single_virtio(cls, guest: Optional[GuestSpec] = None) -> "TopologySpec":
+        """The paper's VirtIO NIC machine (Section III-B1), optionally
+        inside a guest."""
+        return cls(devices=(DeviceSpec(kind="virtio-net"),), guest=guest)
 
     @classmethod
-    def single_xdma(cls) -> "TopologySpec":
-        """The paper's XDMA example-design machine (Section III-B2)."""
-        return cls(devices=(DeviceSpec(kind="xdma"),))
+    def single_xdma(cls, guest: Optional[GuestSpec] = None) -> "TopologySpec":
+        """The paper's XDMA example-design machine (Section III-B2),
+        optionally inside a guest."""
+        return cls(devices=(DeviceSpec(kind="xdma"),), guest=guest)
 
     @classmethod
     def single_console(cls) -> "TopologySpec":

@@ -227,6 +227,26 @@ class VirtioConfigBlock:
     def set_isr(self, bits: int) -> None:
         self._isr_status |= bits
 
+    def peek_isr(self) -> int:
+        """ISR bits *without* clearing -- the MMIO transport's
+        ``InterruptStatus`` register is not read-to-clear (4.2.2); the
+        driver acknowledges explicitly via :meth:`ack_isr`."""
+        return self._isr_status
+
+    def ack_isr(self, bits: int) -> None:
+        """Clear the given ISR bits (MMIO ``InterruptACK`` write)."""
+        self._isr_status &= ~bits
+
+    @property
+    def config_generation(self) -> int:
+        return self._config_generation
+
+    def route_config_interrupt(self, entry: int) -> None:
+        """Point config-change interrupts at MSI-X table *entry*
+        (the MMIO register block routes them to a fixed entry instead
+        of a driver-written ``msix_config`` field)."""
+        self._msix_config = entry & 0xFFFF
+
     # -- notify region ----------------------------------------------------------------------
 
     def _build_notify(self) -> None:

@@ -53,6 +53,13 @@ if TYPE_CHECKING:  # pragma: no cover
 #: core for the AXI window, DMA registers, and MSI-X table).
 VIRTIO_BAR_INDEX = 3
 
+#: BAR index carrying the optional virtio-mmio register block (the 4.2
+#: flat layout, for guests without PCI enlightenment).  Only present
+#: when the device is built with ``mmio_window=True`` -- probing an
+#: implemented BAR costs enumeration extra config writes, so the bare
+#: PCI boot sequence must not see it.
+VIRTIO_MMIO_BAR_INDEX = 4
+
 #: BRAM region reserved for DMA staging (above the packet data area).
 STAGING_BASE = 0x8000
 
@@ -73,6 +80,7 @@ class VirtioFpgaDevice(Component):
         rx_prefetch: bool = True,
         bram_size: int = 64 << 10,
         tracer=None,
+        mmio_window: bool = False,
     ) -> None:
         super().__init__(sim, name, parent=parent, tracer=tracer)
         self.personality = personality
@@ -117,6 +125,17 @@ class VirtioFpgaDevice(Component):
         # Requirement (ii): the configuration structures in fabric.
         self.config_block = VirtioConfigBlock(self, self.layout)
         self.xdma.endpoint.attach_bar(VIRTIO_BAR_INDEX, self.config_block.regs.as_region())
+
+        # Optional second window: the virtio-mmio register block, over
+        # the same queue/ISR/status state (guest transport comparison).
+        self.mmio_block = None
+        if mmio_window:
+            from repro.virtio.mmio_transport import VirtioMmioRegBlock
+
+            self.mmio_block = VirtioMmioRegBlock(self)
+            self.xdma.endpoint.attach_bar(
+                VIRTIO_MMIO_BAR_INDEX, self.mmio_block.as_region()
+            )
 
         self.device_status = 0
         self.driver_feature_words: Dict[int, int] = {}

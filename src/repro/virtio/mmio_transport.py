@@ -1,0 +1,259 @@
+"""virtio-mmio register layout (device side).
+
+VirtIO 1.2 section 4.2: "Virtual environments without PCI support ...
+might use simple memory mapped device (virtio-mmio) instead of the PCI
+device."  The binding is a single flat register block -- no capability
+list, no per-structure windows, no MSI-X vector table register -- which
+is exactly how SoC-attached FPGA fabrics surface VirtIO (Virtio-FPGA
+attaches its devices to guests this way).
+
+:class:`VirtioMmioRegBlock` renders the 4.2.2 layout (version 2, the
+non-legacy interface) over the *same* device state the PCI block drives:
+it shares the :class:`~repro.virtio.controller.config_structs.QueueState`
+objects, the ISR bits, the status FSM callbacks, and the device-config
+bytes of the owning device's :class:`VirtioConfigBlock`, so a device
+behaves identically no matter which window the driver programs it
+through -- the transports differ only in *access pattern and cost*,
+which is the point of experiment E-V1's transport comparison.
+
+Interrupts: virtio-mmio has one interrupt line.  The simulated device
+signals through MSI-X regardless (the PCIe endpoint underneath is
+unchanged), so the block routes config-change interrupts to table entry
+``CONFIG_IRQ_ENTRY`` and each enabled queue to ``QUEUE_IRQ_ENTRY``; the
+MMIO *driver* transport programs both entries with one host vector and
+demultiplexes by reading ``InterruptStatus``, faithfully reproducing
+the shared-line cost structure.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.fpga.registers import RegisterFile
+from repro.mem.region import MmioRegion
+from repro.virtio.constants import VIRTIO_PCI_VENDOR_ID
+from repro.virtio.controller.config_structs import QueueState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.virtio.controller.device import VirtioFpgaDevice
+
+#: "virt" in little-endian, the 4.2.2 magic.
+VIRTIO_MMIO_MAGIC = 0x74726976
+#: Device interface version 2 (the VirtIO 1.x layout; 1 is legacy).
+VIRTIO_MMIO_VERSION = 2
+
+# Register offsets (VirtIO 1.2, section 4.2.2).
+MMIO_MAGIC_VALUE = 0x000
+MMIO_VERSION = 0x004
+MMIO_DEVICE_ID = 0x008
+MMIO_VENDOR_ID = 0x00C
+MMIO_DEVICE_FEATURES = 0x010
+MMIO_DEVICE_FEATURES_SEL = 0x014
+MMIO_DRIVER_FEATURES = 0x020
+MMIO_DRIVER_FEATURES_SEL = 0x024
+MMIO_QUEUE_SEL = 0x030
+MMIO_QUEUE_NUM_MAX = 0x034
+MMIO_QUEUE_NUM = 0x038
+MMIO_QUEUE_READY = 0x044
+MMIO_QUEUE_NOTIFY = 0x050
+MMIO_INTERRUPT_STATUS = 0x060
+MMIO_INTERRUPT_ACK = 0x064
+MMIO_STATUS = 0x070
+MMIO_QUEUE_DESC_LOW = 0x080
+MMIO_QUEUE_DESC_HIGH = 0x084
+MMIO_QUEUE_DRIVER_LOW = 0x090
+MMIO_QUEUE_DRIVER_HIGH = 0x094
+MMIO_QUEUE_DEVICE_LOW = 0x0A0
+MMIO_QUEUE_DEVICE_HIGH = 0x0A4
+MMIO_CONFIG_GENERATION = 0x0FC
+#: Device-specific configuration starts here.
+MMIO_CONFIG = 0x100
+
+#: MSI-X table entries the single MMIO interrupt line maps onto.
+CONFIG_IRQ_ENTRY = 0
+QUEUE_IRQ_ENTRY = 1
+
+
+class VirtioMmioRegBlock:
+    """The 4.2.2 register block over a device's shared VirtIO state."""
+
+    def __init__(self, device: "VirtioFpgaDevice") -> None:
+        self.device = device
+        self.config_block = device.config_block
+        self.layout = device.layout
+        self._queue_sel = 0
+        self._device_feature_sel = 0
+        self._driver_feature_sel = 0
+        self.size = MMIO_CONFIG + self.layout.device_length
+        self.regs = RegisterFile(MMIO_CONFIG, name=f"{device.name}.virtio-mmio")
+        self._build()
+        # The one interrupt line is always wired: route config changes
+        # to entry 0 (queues get entry 1 as they are made ready).
+        self.config_block.route_config_interrupt(CONFIG_IRQ_ENTRY)
+
+    # -- selected queue (block-local selector over shared state) -------------------
+
+    @property
+    def selected(self) -> QueueState:
+        queues = self.config_block.queues
+        if self._queue_sel < len(queues):
+            return queues[self._queue_sel]
+        return QueueState(index=self._queue_sel, max_size=0, size=0)
+
+    # -- register declarations -----------------------------------------------------
+
+    def _build(self) -> None:
+        regs = self.regs
+        device = self.device
+        block = self.config_block
+        regs.reg("magic", MMIO_MAGIC_VALUE, reset=VIRTIO_MMIO_MAGIC, read_only=True)
+        regs.reg("version", MMIO_VERSION, reset=VIRTIO_MMIO_VERSION, read_only=True)
+        regs.reg(
+            "device_id",
+            MMIO_DEVICE_ID,
+            reset=device.personality.device_id,
+            read_only=True,
+        )
+        regs.reg("vendor_id", MMIO_VENDOR_ID, reset=VIRTIO_PCI_VENDOR_ID, read_only=True)
+        regs.reg(
+            "device_features",
+            MMIO_DEVICE_FEATURES,
+            read_hook=lambda: device.offered_features.word(self._device_feature_sel),
+            read_only=True,
+        )
+        regs.reg(
+            "device_features_sel",
+            MMIO_DEVICE_FEATURES_SEL,
+            write_hook=lambda v: setattr(self, "_device_feature_sel", v),
+        )
+        regs.reg(
+            "driver_features",
+            MMIO_DRIVER_FEATURES,
+            write_hook=lambda v: device.set_driver_feature_word(
+                self._driver_feature_sel, v
+            ),
+        )
+        regs.reg(
+            "driver_features_sel",
+            MMIO_DRIVER_FEATURES_SEL,
+            write_hook=lambda v: setattr(self, "_driver_feature_sel", v),
+        )
+        regs.reg(
+            "queue_sel",
+            MMIO_QUEUE_SEL,
+            write_hook=lambda v: setattr(self, "_queue_sel", v),
+        )
+        regs.reg(
+            "queue_num_max",
+            MMIO_QUEUE_NUM_MAX,
+            read_hook=lambda: self.selected.max_size,
+            read_only=True,
+        )
+        regs.reg("queue_num", MMIO_QUEUE_NUM, write_hook=self._write_queue_num)
+        regs.reg(
+            "queue_ready",
+            MMIO_QUEUE_READY,
+            read_hook=lambda: 1 if self.selected.enabled else 0,
+            write_hook=self._write_queue_ready,
+        )
+        regs.reg(
+            "queue_notify",
+            MMIO_QUEUE_NOTIFY,
+            write_hook=lambda v: device.on_notify(v),
+        )
+        regs.reg(
+            "interrupt_status",
+            MMIO_INTERRUPT_STATUS,
+            read_hook=block.peek_isr,  # NOT read-to-clear, unlike the PCI ISR byte
+            read_only=True,
+        )
+        regs.reg(
+            "interrupt_ack",
+            MMIO_INTERRUPT_ACK,
+            write_hook=lambda v: block.ack_isr(v),
+        )
+        regs.reg(
+            "status",
+            MMIO_STATUS,
+            read_hook=lambda: device.device_status,
+            write_hook=self._write_status,
+        )
+        for name, attr, low in (
+            ("queue_desc", "desc_addr", MMIO_QUEUE_DESC_LOW),
+            ("queue_driver", "driver_addr", MMIO_QUEUE_DRIVER_LOW),
+            ("queue_device", "device_addr", MMIO_QUEUE_DEVICE_LOW),
+        ):
+            regs.reg(
+                f"{name}_low",
+                low,
+                write_hook=lambda v, attr=attr: self._write_addr(attr, v, high=False),
+            )
+            regs.reg(
+                f"{name}_high",
+                low + 4,
+                write_hook=lambda v, attr=attr: self._write_addr(attr, v, high=True),
+            )
+        regs.reg(
+            "config_generation",
+            MMIO_CONFIG_GENERATION,
+            read_hook=lambda: block.config_generation,
+            read_only=True,
+        )
+
+    # -- write hooks -----------------------------------------------------------------
+
+    def _write_queue_num(self, value: int) -> None:
+        queue = self.selected
+        if queue.index >= len(self.config_block.queues):
+            return
+        requested = value & 0xFFFF
+        if requested and requested <= queue.max_size and not requested & (requested - 1):
+            queue.size = requested
+
+    def _write_queue_ready(self, value: int) -> None:
+        queue = self.selected
+        if queue.index >= len(self.config_block.queues):
+            return
+        queue.enabled = bool(value & 1)
+        if queue.enabled:
+            # The shared line services every queue; reset_queues() wipes
+            # msix_vector, so re-route at each ready transition.
+            queue.msix_vector = QUEUE_IRQ_ENTRY
+            self.device.on_queue_enabled(queue.index)
+
+    def _write_status(self, value: int) -> None:
+        new_status = value & 0xFF
+        if new_status != self.device.device_status:
+            self.device.on_status_write(new_status)
+
+    def _write_addr(self, attr: str, value: int, high: bool) -> None:
+        queue = self.selected
+        if queue.index >= len(self.config_block.queues):
+            return
+        current = getattr(queue, attr)
+        if high:
+            setattr(queue, attr, (current & 0xFFFF_FFFF) | (value << 32))
+        else:
+            setattr(queue, attr, (current & ~0xFFFF_FFFF) | value)
+
+    # -- the BAR region ----------------------------------------------------------------
+
+    def _region_read(self, offset: int, length: int) -> bytes:
+        if offset >= MMIO_CONFIG:
+            # Device-specific config: same rendered bytes as the PCI
+            # device-config window (one source of truth).
+            return self.config_block.regs.scratch_read(
+                self.layout.device_offset + offset - MMIO_CONFIG, length
+            )
+        return self.regs.mmio_read(offset, length)
+
+    def _region_write(self, offset: int, data: bytes) -> None:
+        if offset >= MMIO_CONFIG:
+            return  # device config is read-only from the bus
+        self.regs.mmio_write(offset, data)
+
+    def as_region(self) -> MmioRegion:
+        return MmioRegion(
+            self.size, self._region_read, self._region_write,
+            name=f"{self.device.name}.virtio-mmio-bar",
+        )

@@ -1,0 +1,94 @@
+"""Transport-agnostic driver/device contract.
+
+VirtIO 1.2 defines three transports (PCI, MMIO, channel I/O) over one
+device model: the virtqueues, the feature handshake, and the device
+config space are transport-independent; only *how* the driver reaches
+them differs.  This module pins that seam down as a
+:class:`typing.Protocol` so the net driver (and anything above it) can
+run unchanged over either bus binding:
+
+* :class:`repro.drivers.virtio_pci.VirtioPciTransport` -- the paper's
+  path: capability discovery, per-structure BAR windows, MSI-X with a
+  vector per queue.
+* :class:`repro.drivers.virtio_mmio.VirtioMmioTransport` -- the 4.2
+  register block at a fixed BAR offset, one shared interrupt with an
+  ``InterruptStatus``/``InterruptACK`` pair (the binding guests use for
+  SoC-attached FPGAs, cf. Virtio-FPGA).
+
+The interrupt-binding methods exist because the two transports route
+completions differently: PCI binds a *host vector per queue* (the
+handler is dispatched directly), while MMIO multiplexes every queue and
+the config-change source onto *one* line and demultiplexes by reading
+``InterruptStatus``.  The driver only ever says "run this handler when
+queue N completes"; the transport decides what that costs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Protocol, runtime_checkable
+
+from repro.virtio.features import FeatureSet
+from repro.virtio.virtqueue import DriverVirtqueue
+
+#: Generator protocol used throughout the simulated kernel.
+SimGen = Generator[Any, Any, None]
+
+
+@runtime_checkable
+class Transport(Protocol):
+    """What the device-class drivers require of a bus binding."""
+
+    #: Features the device offered (valid after :meth:`initialize`).
+    device_features: FeatureSet
+    #: Features both sides agreed on (valid after :meth:`initialize`).
+    accepted_features: FeatureSet
+    #: Live virtqueues, indexed by queue number.
+    virtqueues: list
+
+    def discover(self) -> SimGen:
+        """Locate the device's VirtIO structures on the bus (capability
+        walk for PCI, magic/version probe for MMIO); raises
+        ``VirtioProbeError`` when the function is not usable."""
+        ...
+
+    def initialize(self, driver_supported: FeatureSet) -> SimGen:
+        """Drive the 3.1.1 handshake: reset, ACKNOWLEDGE/DRIVER, feature
+        negotiation, FEATURES_OK, queue setup, DRIVER_OK."""
+        ...
+
+    def reset_runtime_state(self) -> None:
+        """Forget per-boot queue state ahead of re-initialization."""
+        ...
+
+    def device_config_read(self, offset: int, length: int) -> Generator[Any, Any, bytes]:
+        """Read *length* bytes of device-specific config at *offset*."""
+        ...
+
+    def read_device_status(self) -> Generator[Any, Any, int]:
+        """Read the device status register (NEEDS_RESET polling)."""
+        ...
+
+    def isr_read(self) -> Generator[Any, Any, int]:
+        """Read (and acknowledge) the interrupt status byte."""
+        ...
+
+    def notify(self, queue_index: int) -> SimGen:
+        """Kick queue *queue_index*: the single runtime doorbell."""
+        ...
+
+    def queue(self, index: int) -> DriverVirtqueue:
+        """The driver-side virtqueue for queue *index*."""
+        ...
+
+    def bind_queue_interrupt(self, index: int, handler: Any) -> None:
+        """Run *handler* (a generator factory) when queue *index*'s
+        completion interrupt fires."""
+        ...
+
+    def unbind_queue_interrupt(self, index: int) -> None:
+        """Drop queue *index*'s completion binding (device reset)."""
+        ...
+
+    def bind_config_interrupt(self, handler: Any) -> None:
+        """Run *handler* when the device signals a config change."""
+        ...

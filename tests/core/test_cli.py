@@ -193,3 +193,96 @@ class TestParallelCli:
     def test_check_rejected_outside_bench(self):
         with pytest.raises(SystemExit):
             main(["table1", "--check"])
+
+
+GUESTSWEEP_FAST = [
+    "guestsweep", "--packets", "10", "--payloads", "64", "--seed", "7",
+]
+
+
+class TestGuestsweepCli:
+    def test_text_output(self, capsys):
+        assert main(GUESTSWEEP_FAST) == 0
+        out = capsys.readouterr().out
+        assert "E-V1 guest sweep" in out
+        for block in ("virtio / bare", "virtio / trapped", "virtio / vhost",
+                      "xdma / bare", "xdma / trapped", "xdma / vhost"):
+            assert f"-- {block} --" in out
+
+    def test_json_output(self, capsys):
+        assert main(GUESTSWEEP_FAST + ["--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["experiment"] == "E-V1"
+        assert doc["transport"] == "pci"
+        assert doc["modes"] == ["bare", "trapped", "vhost"]
+        row = doc["results"]["virtio"]["trapped"]["64"]
+        assert row["trap_mean_us"] > 0
+        assert row["vmm"]["vmexits"] > 0
+
+    def test_modes_flag_dedupes(self, capsys):
+        argv = GUESTSWEEP_FAST + ["--modes", "vhost", "vhost", "bare", "--json"]
+        assert main(argv) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["modes"] == ["vhost", "bare"]
+
+    def test_mmio_transport(self, capsys):
+        argv = GUESTSWEEP_FAST + ["--transport", "mmio", "--modes", "bare",
+                                  "--json"]
+        assert main(argv) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["transport"] == "mmio"
+        assert doc["drivers"] == ["virtio"]  # xdma has no VirtIO transport
+
+    def test_jobs_parity(self, capsys):
+        main(GUESTSWEEP_FAST + ["--json", "-j", "1"])
+        first = capsys.readouterr().out
+        main(GUESTSWEEP_FAST + ["--json", "-j", "2"])
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_guest_mode_env_sets_default(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_GUEST_MODE", "vhost")
+        assert main(GUESTSWEEP_FAST + ["--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["modes"] == ["vhost"]
+
+    def test_invalid_guest_mode_env_rejected(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_GUEST_MODE", "weird")
+        with pytest.raises(SystemExit):
+            main(GUESTSWEEP_FAST)
+        assert "REPRO_GUEST_MODE" in capsys.readouterr().err
+
+    def test_invalid_transport_rejected(self):
+        with pytest.raises(SystemExit):
+            main(GUESTSWEEP_FAST + ["--transport", "ccw"])
+
+
+class TestArtifactRegistry:
+    """Satellite: the --json support list is derived, not hand-edited."""
+
+    def test_json_artifacts_derived_from_registry(self):
+        from repro.cli import ARTIFACTS, JSON_ARTIFACTS
+
+        assert JSON_ARTIFACTS == tuple(
+            name for name, has_json in ARTIFACTS.items() if has_json
+        )
+        assert "guestsweep" in JSON_ARTIFACTS
+        assert "claims" not in JSON_ARTIFACTS
+        assert "all" not in JSON_ARTIFACTS
+
+    def test_json_error_lists_supported_subcommands(self, capsys):
+        from repro.cli import JSON_ARTIFACTS
+
+        with pytest.raises(SystemExit):
+            main(["claims", "--json"])
+        err = capsys.readouterr().err
+        # The registry drives the message: every supported artifact is
+        # named, including ones registered after this test was written.
+        for name in JSON_ARTIFACTS:
+            assert name in err
+
+    def test_invalid_env_rejected_before_any_work(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_SIM_SCHEDULER", "fifo")
+        with pytest.raises(SystemExit):
+            main(["table1", "--packets", "10", "--payloads", "64"])
+        assert "REPRO_SIM_SCHEDULER" in capsys.readouterr().err

@@ -1,0 +1,100 @@
+"""Tests for the consolidated environment-knob reader (repro.env)."""
+
+import pytest
+
+from repro import env
+
+
+class TestPackets:
+    def test_unset_returns_fallback(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PACKETS", raising=False)
+        assert env.packets(500) == 500
+        assert env.packets() is None
+
+    def test_set_overrides_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PACKETS", "250")
+        assert env.packets(500) == 250
+
+    def test_non_integer_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PACKETS", "many")
+        with pytest.raises(env.EnvError, match="must be an integer, got 'many'"):
+            env.packets(500)
+
+    def test_non_positive_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PACKETS", "0")
+        with pytest.raises(env.EnvError, match="must be positive"):
+            env.packets(500)
+
+
+class TestScheduler:
+    def test_default_is_calendar(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SIM_SCHEDULER", raising=False)
+        assert env.scheduler() == "calendar"
+
+    @pytest.mark.parametrize("backend", ["calendar", "heap"])
+    def test_valid_backends(self, monkeypatch, backend):
+        monkeypatch.setenv("REPRO_SIM_SCHEDULER", backend)
+        assert env.scheduler() == backend
+
+    def test_unknown_backend_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_SCHEDULER", "fifo")
+        with pytest.raises(env.EnvError, match="'calendar' or 'heap'.*'fifo'"):
+            env.scheduler()
+
+
+class TestFlags:
+    @pytest.mark.parametrize("reader,name", [
+        (env.scalar_rng, "REPRO_SIM_SCALAR_RNG"),
+        (env.bufpool_debug, "REPRO_BUFPOOL_DEBUG"),
+    ])
+    def test_flag_values(self, monkeypatch, reader, name):
+        monkeypatch.delenv(name, raising=False)
+        assert reader() is False
+        monkeypatch.setenv(name, "")
+        assert reader() is False
+        monkeypatch.setenv(name, "0")
+        assert reader() is False
+        monkeypatch.setenv(name, "1")
+        assert reader() is True
+
+    def test_flag_guessing_rejected(self, monkeypatch):
+        # "true"/"yes"/"on" are errors, not synonyms: a knob that
+        # silently ignores them reads as enabled when it is not.
+        for value in ("true", "yes", "on", "2"):
+            monkeypatch.setenv("REPRO_BUFPOOL_DEBUG", value)
+            with pytest.raises(env.EnvError, match="REPRO_BUFPOOL_DEBUG"):
+                env.bufpool_debug()
+
+
+class TestGuestMode:
+    def test_unset_means_all_modes(self, monkeypatch):
+        monkeypatch.delenv("REPRO_GUEST_MODE", raising=False)
+        assert env.guest_mode() is None
+
+    @pytest.mark.parametrize("mode", ["bare", "trapped", "vhost"])
+    def test_valid_modes(self, monkeypatch, mode):
+        monkeypatch.setenv("REPRO_GUEST_MODE", mode)
+        assert env.guest_mode() == mode
+
+    def test_unknown_mode_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_GUEST_MODE", "emulated")
+        with pytest.raises(env.EnvError, match="'emulated'"):
+            env.guest_mode()
+
+
+class TestCheckEnvironment:
+    def test_clean_environment_passes(self, monkeypatch):
+        for name in env.KNOWN_KNOBS:
+            monkeypatch.delenv(name, raising=False)
+        env.check_environment()
+
+    def test_every_knob_is_swept(self, monkeypatch):
+        # Each known knob, when corrupted, must surface through the
+        # one-shot validator with its own name in the message.
+        for name in env.KNOWN_KNOBS:
+            monkeypatch.delenv(name, raising=False)
+        for name in env.KNOWN_KNOBS:
+            monkeypatch.setenv(name, "surely-invalid")
+            with pytest.raises(env.EnvError, match=name):
+                env.check_environment()
+            monkeypatch.delenv(name)

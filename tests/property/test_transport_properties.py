@@ -1,0 +1,76 @@
+"""Property-based equivalence of the virtio-pci and virtio-mmio transports.
+
+The two transports are different *register interfaces* over the same
+virtqueue machinery: per-structure PCI capability windows with per-queue
+MSI-X on one side, the 4.2 flat register block with one shared
+interrupt line on the other.  For any workload and seed, both must
+drive byte-for-byte the same descriptor and used-ring traffic -- the
+same chains exposed, the same chains consumed, the same interrupts
+raised by the device engines -- differing only in what the *accesses*
+cost.  A divergence here would mean one of the register blocks mutates
+queue state the other does not, which is exactly the bug class this
+pins down.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.latency import run_virtio_payload
+from repro.topology.builder import build_from_spec
+from repro.topology.spec import GuestSpec, TopologySpec
+
+
+def _ring_traffic(testbed):
+    """Address-independent projection of all virtqueue traffic."""
+    driver_view = [
+        (
+            vq.index,
+            vq.size,
+            vq._avail_idx,
+            vq._last_used_idx,
+            vq.in_flight,
+        )
+        for vq in testbed.driver.transport.virtqueues
+    ]
+    # Per-queue engine counters only: the dma_port's reads_issued /
+    # bytes_read include avail-ring polling, whose batching depends on
+    # *when* the doorbell lands -- a cost effect, not ring state.
+    device_view = sorted(
+        (key, value)
+        for key, value in testbed.device.stats.items()
+        if key.startswith("q")
+    )
+    return driver_view, device_view
+
+
+def _run(transport: str, payload: int, packets: int, seed: int):
+    guest = GuestSpec(mode="bare", transport=transport)
+    testbed = build_from_spec(TopologySpec.single_virtio(guest), seed=seed)
+    result = run_virtio_payload(testbed, payload, packets)
+    return result, _ring_traffic(testbed)
+
+
+class TestMmioMatchesPci:
+    @given(
+        payload=st.integers(min_value=16, max_value=1400),
+        packets=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_identical_ring_traffic(self, payload, packets, seed):
+        pci_result, pci_traffic = _run("pci", payload, packets, seed)
+        mmio_result, mmio_traffic = _run("mmio", payload, packets, seed)
+        assert pci_traffic == mmio_traffic
+        # Both completed the same workload (the app itself verifies the
+        # echoed bytes; here we pin the packet accounting).
+        assert pci_result.packets == mmio_result.packets == packets
+
+    def test_access_costs_do_differ(self):
+        # The shared-line demux (InterruptStatus read + InterruptACK
+        # write per interrupt) is intrinsic mmio overhead, so with the
+        # same seed the RTT series must NOT be identical even though
+        # the ring traffic is.
+        pci_result, pci_traffic = _run("pci", 256, 8, 7)
+        mmio_result, mmio_traffic = _run("mmio", 256, 8, 7)
+        assert pci_traffic == mmio_traffic
+        assert (pci_result.rtt_ps != mmio_result.rtt_ps).any()

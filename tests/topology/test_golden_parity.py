@@ -41,6 +41,12 @@ COMMANDS = {
                         "--fault-rates", "0", "0.01", "--seed", "7"],
     "overload.json": ["overload", "--json", "--packets", "40",
                       "--multipliers", "0.5", "2", "--seed", "7"],
+    "fleetsweep.json": ["fleetsweep", "--json", "--pods", "2", "--tenants",
+                        "4", "--packets", "20", "--seed", "7"],
+    # The guest layer's backstop: the E-V1 sweep (all three modes; the
+    # bare column's numbers double as the legacy-latency-cell pin).
+    "guestsweep.json": ["guestsweep", "--json", "--packets", "20",
+                        "--payloads", "64", "--seed", "7"],
 }
 
 
