@@ -65,6 +65,16 @@ on the committed baseline's workload and exits 1 on regression::
 
     virtio-fpga-repro bench --check
     virtio-fpga-repro bench --check --baseline BENCH_baseline.json --tolerance 0.15
+
+``--cache`` turns on the content-addressed result cache: cells whose
+(kind, spec, seed, code fingerprint) already have a stored outcome are
+served from disk, so a warm rerun of an unchanged tree is near-free
+and byte-identical to the cold run.  Every ``--json`` report then
+carries a ``cache_stats`` section (hits/misses/bytes/boot-reuses)::
+
+    virtio-fpga-repro table1 --cache --json        # cold: populates
+    virtio-fpga-repro table1 --cache --json        # warm: all hits
+    virtio-fpga-repro fleetsweep --cache --cache-dir /tmp/repro-cache
 """
 
 from __future__ import annotations
@@ -346,7 +356,39 @@ def _parser() -> argparse.ArgumentParser:
         "BENCH_<rev>.profile.txt (record mode only; the profiled wall "
         "is not baseline material)",
     )
+    cachegrp = parser.add_argument_group("result cache options")
+    cachegrp.add_argument(
+        "--cache",
+        action="store_true",
+        help="consult and populate the content-addressed cell result "
+        "cache; unchanged cells are served from disk byte-identically "
+        "(default: the REPRO_CACHE env knob)",
+    )
+    cachegrp.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the result cache even when REPRO_CACHE=1",
+    )
+    cachegrp.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="result-cache directory, created if missing (default: "
+        "REPRO_CACHE_DIR, else .repro-cache)",
+    )
     return parser
+
+
+def _emit_json(payload: dict) -> None:
+    """Print a ``--json`` rendering, appending ``cache_stats`` when the
+    result cache is active (disabled runs stay byte-identical to the
+    committed goldens)."""
+    from repro.exec.cache import cache_stats
+
+    stats = cache_stats()
+    if stats is not None:
+        payload = dict(payload, cache_stats=stats)
+    print(json.dumps(payload, indent=2))
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -391,6 +433,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--profile is a bench record-mode option")
     if args.tolerance is not None and not 0.0 < args.tolerance < 1.0:
         parser.error("--tolerance must be a fraction in (0, 1)")
+    if args.cache and args.no_cache:
+        parser.error("--cache and --no-cache are mutually exclusive")
+
+    from repro.exec import cache as result_cache
+
+    cache = result_cache.configure(
+        enabled=(args.cache or env.result_cache()) and not args.no_cache,
+        cache_dir=args.cache_dir,
+    )
+    if (
+        cache is not None
+        and args.jobs is None
+        and args.artifact not in ("fleetsweep", "guestsweep", "bench")
+    ):
+        # With --jobs unset these artifacts take the legacy serial
+        # path, which never enters the cell engine -- the cache would
+        # sit idle.  Say so instead of silently reporting zero hits.
+        print(
+            f"note: the result cache only covers cell-engine runs; "
+            f"pass -j (e.g. -j 1) to cache {args.artifact!r} cells",
+            file=sys.stderr,
+        )
 
     started = time.time()
     if args.artifact == "bench" and args.check:
@@ -411,7 +475,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         except FileNotFoundError:
             parser.error(f"baseline record not found: {baseline}")
         if args.json:
-            print(json.dumps(report, indent=2))
+            _emit_json(report)
         else:
             print(render_check(report))
         print(
@@ -436,7 +500,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             profile_hot=args.profile_hot,
         )
         if args.json:
-            print(json.dumps(record, indent=2))
+            _emit_json(record)
         else:
             print(render_bench(record))
         print(f"\n[bench record written to {path}]", file=sys.stderr)
@@ -454,7 +518,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             jobs=args.jobs,
         )
         if args.json:
-            print(json.dumps(
+            _emit_json(
                 {
                     "artifact": "loadsweep",
                     "mode": "closed" if args.outstanding else "open",
@@ -462,9 +526,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                     "packets": packets,
                     "payloads": payloads,
                     "drivers": {name: r.as_dict() for name, r in results.items()},
-                },
-                indent=2,
-            ))
+                }
+            )
         else:
             print(text)
         print(
@@ -493,10 +556,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                 jobs=args.jobs,
             )
         if args.json:
-            print(json.dumps(
-                dict(result.as_dict(), artifact="faultsweep", scenario=args.scenario),
-                indent=2,
-            ))
+            _emit_json(
+                dict(result.as_dict(), artifact="faultsweep", scenario=args.scenario)
+            )
         else:
             print(text)
         print(
@@ -534,16 +596,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
         mode = "soak" if args.soak else "sweep"
         if args.json:
-            print(json.dumps(
+            _emit_json(
                 {
                     "artifact": "overload",
                     "mode": mode,
                     "seed": args.seed,
                     "packets": packets,
                     "drivers": {name: r.as_dict() for name, r in results.items()},
-                },
-                indent=2,
-            ))
+                }
+            )
         else:
             print("\n\n".join(r.render() for r in results.values()))
         print(
@@ -581,7 +642,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             jobs=args.jobs if args.jobs is not None else 1,
         )
         if args.json:
-            print(json.dumps(result.as_dict(), indent=2))
+            _emit_json(result.as_dict())
         else:
             print(result.render())
         print(
@@ -612,7 +673,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             jobs=args.jobs if args.jobs is not None else 1,
         )
         if args.json:
-            print(json.dumps(report.as_dict(), indent=2))
+            _emit_json(report.as_dict())
         else:
             print(report.render())
         print(
@@ -639,21 +700,20 @@ def main(argv: Optional[List[str]] = None) -> int:
                     ("virtio", comparison.virtio), ("xdma", comparison.xdma)
                 )
             }
-            print(json.dumps(
+            _emit_json(
                 {
                     "artifact": "fig3",
                     "seed": args.seed,
                     "packets": packets,
                     "drivers": drivers,
-                },
-                indent=2,
-            ))
+                }
+            )
         else:
             print(text)
     elif args.artifact in ("fig4", "fig5"):
         sweep, text = (figure4 if args.artifact == "fig4" else figure5)(**kwargs)
         if args.json:
-            print(json.dumps(
+            _emit_json(
                 {
                     "artifact": args.artifact,
                     "driver": sweep.driver,
@@ -670,23 +730,21 @@ def main(argv: Optional[List[str]] = None) -> int:
                         }
                         for row in breakdown_rows(sweep)
                     ],
-                },
-                indent=2,
-            ))
+                }
+            )
         else:
             print(text)
     elif args.artifact == "table1":
         comparison, text = table1(**kwargs)
         if args.json:
-            print(json.dumps(
+            _emit_json(
                 {
                     "artifact": "table1",
                     "seed": args.seed,
                     "packets": packets,
                     "rows": comparison.table1_rows(),
-                },
-                indent=2,
-            ))
+                }
+            )
         else:
             print(text)
     elif args.artifact == "claims":

@@ -32,6 +32,17 @@ Knobs
     ``bare``, ``trapped``, or ``vhost``: default guest mode set for the
     ``guestsweep`` artifact when ``--modes`` is not given (unset: all
     three modes are swept).
+``REPRO_CACHE``
+    Flag: consult and populate the content-addressed cell result cache
+    (the CLI's ``--cache``/``--no-cache`` flags override it).
+``REPRO_CACHE_DIR``
+    Directory path for the result cache (default ``.repro-cache``; the
+    CLI's ``--cache-dir`` overrides it).  A path that exists but is
+    not a directory is an error.
+``REPRO_SNAPSHOT_BOOT``
+    ``1`` (default) or ``0``: reuse pristine boot snapshots via
+    fork/copy-on-write stamping when a cell's (spec, seed, profile)
+    repeats in a process.  ``0`` boots every cell cold.
 
 Flags accept ``1`` (on) and ``0`` / unset / empty (off); anything else
 is an error rather than a guess.
@@ -56,6 +67,9 @@ KNOWN_KNOBS = {
     "REPRO_SIM_SCALAR_RNG": "'1' or '0'",
     "REPRO_BUFPOOL_DEBUG": "'1' or '0'",
     "REPRO_GUEST_MODE": "'bare', 'trapped', or 'vhost'",
+    "REPRO_CACHE": "'1' or '0'",
+    "REPRO_CACHE_DIR": "a directory path (created if missing)",
+    "REPRO_SNAPSHOT_BOOT": "'1' (default) or '0'",
 }
 
 
@@ -121,6 +135,37 @@ def guest_mode() -> Optional[str]:
     return _choice("REPRO_GUEST_MODE", ("bare", "trapped", "vhost"))
 
 
+def result_cache() -> bool:
+    """``REPRO_CACHE``: enable the content-addressed result cache."""
+    return _flag("REPRO_CACHE")
+
+
+def cache_dir() -> Optional[str]:
+    """``REPRO_CACHE_DIR``: result-cache directory, or None (default)."""
+    value = _raw("REPRO_CACHE_DIR")
+    if not value:
+        return None
+    if os.path.exists(value) and not os.path.isdir(value):
+        raise EnvError(
+            f"REPRO_CACHE_DIR must be {KNOWN_KNOBS['REPRO_CACHE_DIR']}, "
+            f"got {value!r} which exists and is not a directory"
+        )
+    return value
+
+
+def snapshot_boot() -> bool:
+    """``REPRO_SNAPSHOT_BOOT``: boot-snapshot reuse (default on)."""
+    value = _raw("REPRO_SNAPSHOT_BOOT")
+    if value in ("", "1"):
+        return True
+    if value == "0":
+        return False
+    raise EnvError(
+        f"REPRO_SNAPSHOT_BOOT must be {KNOWN_KNOBS['REPRO_SNAPSHOT_BOOT']}, "
+        f"got {value!r}"
+    )
+
+
 def check_environment() -> None:
     """Validate every set knob at once (CLI startup hook): one clear
     error up front instead of a late failure deep inside a worker."""
@@ -129,3 +174,6 @@ def check_environment() -> None:
     scalar_rng()
     bufpool_debug()
     guest_mode()
+    result_cache()
+    cache_dir()
+    snapshot_boot()

@@ -9,15 +9,30 @@ and merge back into the existing result types in deterministic cell
 order, so a run's output is bit-identical for a given root seed
 regardless of worker count or completion order.
 
-See ``docs/architecture.md`` ("Parallel execution") for the design
-notes and the seed-derivation argument.
+Two caching layers make re-runs near-free: the content-addressed
+result cache (:mod:`repro.exec.cache`) returns unchanged cells from
+disk, and snapshot boot reuse (:mod:`repro.exec.snapshot`) stamps
+repeated same-boot cells off one pristine fork/copy-on-write image.
+
+See ``docs/architecture.md`` ("Parallel execution" and "Result cache &
+snapshot boot reuse") for the design notes and the seed-derivation
+argument.
 """
 
+from repro.exec.cache import (
+    ResultCache,
+    active_cache,
+    cache_stats,
+    code_fingerprint,
+    configure,
+)
 from repro.exec.cells import (
     Cell,
+    cell_seed,
     closed_sweep_cells,
     derive_cell_seed,
     latency_cells,
+    seed_identity,
 )
 from repro.exec.runner import (
     CellOutcome,
@@ -33,7 +48,13 @@ __all__ = [
     "Cell",
     "CellOutcome",
     "ExecutionStats",
+    "ResultCache",
+    "active_cache",
+    "cache_stats",
+    "cell_seed",
     "closed_sweep_cells",
+    "code_fingerprint",
+    "configure",
     "derive_cell_seed",
     "execute_cell",
     "execute_comparison",
@@ -41,4 +62,5 @@ __all__ = [
     "execute_sweep",
     "latency_cells",
     "run_cells",
+    "seed_identity",
 ]

@@ -46,7 +46,13 @@ import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.calibration import PAPER_PAYLOAD_SIZES, PAPER_PROFILE, CalibrationProfile
+from repro.exec import cache as result_cache
 from repro.exec.runner import execute_comparison
+
+#: Packets per payload for the cache-exercise legs (populate + warm
+#: rerun).  Small on purpose: the legs prove cache behavior, not
+#: throughput, and the timed legs already cover the full workload.
+CACHE_RERUN_PACKETS = 50
 
 #: Schema tag written into bench records.  ``bench-v1`` records (no
 #: ``micro`` section) are still readable by ``--check`` -- the copy-count
@@ -344,6 +350,13 @@ def run_bench(
     for committing as baselines).
 
     Returns ``(record, path)``.
+
+    The timed legs always run with the result cache bypassed -- a
+    cache hit would measure disk reads, not the simulator.  When a
+    cache is active, one extra (small) comparison runs through it
+    afterwards and its counters land in the record's ``cache_stats``
+    section: all misses on a first run, all hits on a warm rerun (the
+    CI two-pass job reads exactly that).
     """
     if jobs < 2:
         raise ValueError(f"bench compares serial vs parallel; need jobs >= 2, got {jobs}")
@@ -353,26 +366,34 @@ def run_bench(
 
         profiler = cProfile.Profile()
         profiler.enable()
-    serial_comparison, serial_stats = execute_comparison(
-        payload_sizes, packets, seed, profile, jobs=1
-    )
-    if profiler is not None:
-        profiler.disable()
-    parallel_comparison, parallel_stats = execute_comparison(
-        payload_sizes, packets, seed, profile, jobs=jobs
-    )
+    with result_cache.bypass():
+        serial_comparison, serial_stats = execute_comparison(
+            payload_sizes, packets, seed, profile, jobs=1
+        )
+        if profiler is not None:
+            profiler.disable()
+        parallel_comparison, parallel_stats = execute_comparison(
+            payload_sizes, packets, seed, profile, jobs=jobs
+        )
     identical = serial_comparison.table1_rows() == parallel_comparison.table1_rows()
     speedup = (
         serial_stats.wall_s / parallel_stats.wall_s if parallel_stats.wall_s > 0 else 0.0
     )
-    micro = run_microbench(
-        packets=packets, payload_sizes=payload_sizes, seed=seed, profile=profile,
-        end_to_end={
-            "wall_s": serial_stats.wall_s,
-            "events": serial_stats.events,
-            "events_per_second": serial_stats.events_per_second,
-        },
-    )
+    with result_cache.bypass():
+        micro = run_microbench(
+            packets=packets, payload_sizes=payload_sizes, seed=seed, profile=profile,
+            end_to_end={
+                "wall_s": serial_stats.wall_s,
+                "events": serial_stats.events,
+                "events_per_second": serial_stats.events_per_second,
+            },
+        )
+    cache_section = None
+    if result_cache.active_cache() is not None:
+        execute_comparison(
+            payload_sizes, CACHE_RERUN_PACKETS, seed, profile, jobs=1
+        )
+        cache_section = result_cache.cache_stats()
     record = {
         "schema": BENCH_SCHEMA,
         "rev": rev if rev is not None else repo_revision(),
@@ -403,6 +424,7 @@ def run_bench(
         "speedup": speedup,
         "parallel_matches_serial": identical,
         "micro": micro,
+        "cache_stats": cache_section,
     }
     path = os.path.join(out_dir, f"BENCH_{record['rev']}.json")
     if profiler is not None:
@@ -498,7 +520,11 @@ def evaluate_check(
       (``{"jobs", "speedup", "cpus"}``), a speedup at or below 1.0
       fails **if** the host has at least ``jobs`` CPUs -- warm-pool
       fan-out must actually beat the serial path on real multi-core
-      hardware, while 1-vCPU runners skip the assertion.
+      hardware, while 1-vCPU runners skip the assertion;
+    * when *current* carries a ``cache_rerun`` section
+      (``{"cells", "hits", "misses"}``), any miss fails -- the rerun
+      executed the identical workload moments after populating the
+      cache, so a miss means keying or invalidation is broken.
     """
     if not 0.0 < tolerance < 1.0:
         raise ValueError(f"tolerance must be in (0, 1), got {tolerance}")
@@ -544,6 +570,13 @@ def evaluate_check(
                 f"(baseline {base_reads:.2f}; counts are deterministic, "
                 f"any increase fails)"
             )
+    cache_rerun = current.get("cache_rerun")
+    if cache_rerun and cache_rerun.get("misses", 0) > 0:
+        failures.append(
+            f"warm cache rerun missed on {cache_rerun['misses']} of "
+            f"{cache_rerun['cells']} cells (an unchanged workload must "
+            f"hit the result cache on every cell)"
+        )
     details = {
         "events_per_second": {
             "baseline": base_eps,
@@ -560,6 +593,8 @@ def evaluate_check(
             for driver in sorted(base_copies.keys() | cur_copies.keys())
         },
     }
+    if cache_rerun is not None:
+        details["cache_rerun"] = dict(cache_rerun)
     return not failures, failures, details
 
 
@@ -578,8 +613,10 @@ def run_check(
     shorter run stays comparable up to boot overhead).  On hosts with
     at least 4 CPUs the same workload is also fanned out at ``jobs=4``
     and the speedup must exceed 1.0x (skipped on smaller hosts, where
-    a process pool cannot beat the serial path).  Returns
-    ``(ok, report)``.
+    a process pool cannot beat the serial path).  The timed legs run
+    with the result cache bypassed; when a cache is active, a small
+    populate + warm-rerun pair runs through it afterwards and any
+    warm-pass miss fails the gate.  Returns ``(ok, report)``.
     """
     with open(baseline_path, "r", encoding="utf-8") as handle:
         baseline = json.load(handle)
@@ -587,7 +624,10 @@ def run_check(
     run_packets = packets if packets is not None else workload.get("packets", 400)
     run_payloads = workload.get("payload_sizes") or list(PAPER_PAYLOAD_SIZES)
     run_seed = seed if seed is not None else workload.get("seed", 0)
-    _, stats = execute_comparison(run_payloads, run_packets, run_seed, profile, jobs=1)
+    with result_cache.bypass():
+        _, stats = execute_comparison(
+            run_payloads, run_packets, run_seed, profile, jobs=1
+        )
     current = {
         "cpu_score": cpu_score(),
         "copy_counts": bench_copy_counts(seed=run_seed, profile=profile),
@@ -599,9 +639,10 @@ def run_check(
     }
     cpus = os.cpu_count() or 1
     if cpus >= 4:
-        _, par_stats = execute_comparison(
-            run_payloads, run_packets, run_seed, profile, jobs=4
-        )
+        with result_cache.bypass():
+            _, par_stats = execute_comparison(
+                run_payloads, run_packets, run_seed, profile, jobs=4
+            )
         current["parallel"] = {
             "jobs": 4,
             "cpus": cpus,
@@ -609,6 +650,19 @@ def run_check(
             "speedup": (
                 stats.wall_s / par_stats.wall_s if par_stats.wall_s > 0 else 0.0
             ),
+        }
+    if result_cache.active_cache() is not None:
+        rerun_packets = min(run_packets, CACHE_RERUN_PACKETS)
+        execute_comparison(  # populate pass
+            run_payloads, rerun_packets, run_seed, profile, jobs=1
+        )
+        _, warm_stats = execute_comparison(  # warm pass: must be all hits
+            run_payloads, rerun_packets, run_seed, profile, jobs=1
+        )
+        current["cache_rerun"] = {
+            "cells": warm_stats.cells,
+            "hits": warm_stats.cache_hits,
+            "misses": warm_stats.cells - warm_stats.cache_hits,
         }
     ok, failures, details = evaluate_check(baseline, current, tolerance)
     report = {
@@ -653,6 +707,12 @@ def render_check(report: dict) -> str:
         lines.append(
             f"  jobs={parallel['jobs']} speedup: {parallel['speedup']:.2f}x "
             f"on {parallel['cpus']} CPUs (must exceed 1.0x)"
+        )
+    cache_rerun = report.get("current", {}).get("cache_rerun")
+    if cache_rerun:
+        lines.append(
+            f"  cache rerun: {cache_rerun['hits']}/{cache_rerun['cells']} "
+            f"hits (any miss fails)"
         )
     if report["ok"]:
         lines.append("  PASS")

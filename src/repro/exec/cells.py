@@ -53,6 +53,78 @@ def derive_cell_seed(root_seed: int, *identity: object) -> int:
     return seed
 
 
+#: Kinds whose cells deliberately reuse another kind's seed identity.
+#: These aliases are the determinism guards the layered experiments
+#: rest on: a fault/guest cell boots the very machine the plain latency
+#: cell booted (so the rate-0 / bare column is bit-identical to the
+#: paper artifact), and an overload point boots the plain load-sweep
+#: point's machine (so an all-off OverloadConfig reproduces it).
+SEED_IDENTITY_ALIASES = {
+    "faultlat": "latency",
+    "guest": "latency",
+    "overload": "openload",
+}
+
+
+def seed_identity(
+    kind: str,
+    driver: Optional[str] = None,
+    *,
+    payload: Optional[int] = None,
+    index: Optional[int] = None,
+    outstanding: Optional[int] = None,
+    pod: Optional[int] = None,
+) -> Tuple[object, ...]:
+    """The spawn-key identity tuple for one cell of *kind*.
+
+    This is the single source of truth for per-kind seed identities --
+    the cell factories, the fleet sweep, and the result cache all
+    derive from it, so the runners and the cache key cannot drift.
+    Aliased kinds (see :data:`SEED_IDENTITY_ALIASES`) resolve to the
+    identity of the kind they must reproduce byte-identically.
+
+    Open-loop points are identified by *index*, never by the rate
+    value: auto-placed rates are floats whose textual form could vary,
+    while the point index is exact and stable.
+    """
+    base = SEED_IDENTITY_ALIASES.get(kind, kind)
+    if base == "latency":
+        parts: Tuple[object, ...] = (base, driver, payload)
+    elif base in ("calibrate", "soak"):
+        parts = (base, driver)
+    elif base == "openload":
+        parts = (base, driver, index)
+    elif base == "closedload":
+        parts = (base, driver, outstanding)
+    elif base == "fleet":
+        parts = (base, pod)
+    else:
+        raise ValueError(f"no seed identity for cell kind {kind!r}")
+    if any(part is None for part in parts):
+        raise ValueError(f"incomplete seed identity for kind {kind!r}: {parts}")
+    return parts
+
+
+def cell_seed(
+    root_seed: int,
+    kind: str,
+    driver: Optional[str] = None,
+    *,
+    payload: Optional[int] = None,
+    index: Optional[int] = None,
+    outstanding: Optional[int] = None,
+    pod: Optional[int] = None,
+) -> int:
+    """:func:`derive_cell_seed` over the kind's :func:`seed_identity`."""
+    return derive_cell_seed(
+        root_seed,
+        *seed_identity(
+            kind, driver, payload=payload, index=index,
+            outstanding=outstanding, pod=pod,
+        ),
+    )
+
+
 @dataclass(frozen=True)
 class Cell:
     """One independent unit of experiment work.
@@ -137,7 +209,7 @@ def latency_cells(
             payload=payload,
             packets=packets,
             profile=profile,
-            seed=derive_cell_seed(seed, "latency", driver, payload),
+            seed=cell_seed(seed, "latency", driver, payload=payload),
         )
         for driver in drivers
         for payload in payload_sizes
@@ -171,7 +243,7 @@ def guest_cells(
             profile=profile,
             guest_mode=mode,
             guest_transport=transport,
-            seed=derive_cell_seed(seed, "latency", driver, payload),
+            seed=cell_seed(seed, "guest", driver, payload=payload),
         )
         for driver in drivers
         for mode in modes
@@ -204,7 +276,7 @@ def fault_cells(
             packets=packets,
             profile=profile,
             fault_rate=rate,
-            seed=derive_cell_seed(seed, "latency", driver, payload),
+            seed=cell_seed(seed, "faultlat", driver, payload=payload),
         )
         for driver in drivers
         for rate in rates
@@ -226,7 +298,7 @@ def calibration_cells(
             payload_sizes=tuple(payload_sizes),
             packets=packets,
             profile=profile,
-            seed=derive_cell_seed(seed, "calibrate", driver),
+            seed=cell_seed(seed, "calibrate", driver),
         )
         for driver in drivers
     ]
@@ -256,7 +328,7 @@ def open_sweep_cells(
             payload_sizes=tuple(payload_sizes),
             packets=packets,
             profile=profile,
-            seed=derive_cell_seed(seed, "openload", driver, index),
+            seed=cell_seed(seed, "openload", driver, index=index),
         )
         for index, rate in enumerate(rates)
     ]
@@ -294,7 +366,7 @@ def overload_cells(
             profile=profile,
             overload=overload,
             fault_rate=fault_rate,
-            seed=derive_cell_seed(seed, "openload", driver, index),
+            seed=cell_seed(seed, "overload", driver, index=index),
         )
         for index, rate in enumerate(rates)
     ]
@@ -320,7 +392,7 @@ def soak_cells(
             profile=profile,
             overload=overload,
             fault_rate=fault_rate,
-            seed=derive_cell_seed(seed, "soak", driver),
+            seed=cell_seed(seed, "soak", driver),
         )
         for driver in drivers
     ]
@@ -343,7 +415,7 @@ def closed_sweep_cells(
             payload_sizes=tuple(payload_sizes),
             packets=packets,
             profile=profile,
-            seed=derive_cell_seed(seed, "closedload", driver, n),
+            seed=cell_seed(seed, "closedload", driver, outstanding=n),
         )
         for n in outstanding
     ]

@@ -13,6 +13,21 @@ output byte-identical across ``jobs=1``, ``jobs=2``, ``jobs=4``.
 ``jobs=1`` runs the same cells in-process (no pool), so it doubles as
 the bit-exact reference for the pool path and keeps single-core runs
 free of fork/pickle overhead.
+
+Two caching layers sit in front of execution (both preserve the
+byte-identity guarantee):
+
+* the content-addressed **result cache** (:mod:`repro.exec.cache`,
+  when activated via ``--cache``/``REPRO_CACHE``): ``run_cells``
+  consults it per cell before fanning out, runs only the misses, and
+  merges hits + fresh results back in cell construction order -- the
+  output is byte-identical for any ``jobs`` and any hit/miss mix;
+* **snapshot boot reuse** (:mod:`repro.exec.snapshot`, default on):
+  ``execute_cell`` splits every kind into a pure *boot* (testbed
+  construction from (spec, seed, profile)) and a *measure* closure
+  (fault-plan attachment, overload bounds, the workload), and the
+  snapshot layer stamps repeated same-boot cells off one pristine
+  copy-on-write image instead of re-booting.
 """
 
 from __future__ import annotations
@@ -31,6 +46,8 @@ from repro.core.calibration import PAPER_PROFILE, CalibrationProfile
 from repro.core.latency import run_virtio_payload, run_xdma_payload
 from repro.core.results import ComparisonResult, SweepResult
 from repro.core.testbed import build_virtio_testbed, build_xdma_testbed
+from repro.exec import cache as result_cache
+from repro.exec import snapshot
 from repro.exec.cells import (
     Cell,
     calibration_cells,
@@ -61,6 +78,8 @@ class CellOutcome:
     value: Any  # PayloadResult | RunMetrics | (rtt_us, rate_pps)
     events: int  # simulator events the cell executed (perf accounting)
     wall_s: float  # worker-side wall clock for the cell
+    cached: bool = False  # served from the result cache, not executed
+    boot_reused: bool = False  # measured off a pristine boot snapshot
 
 
 @dataclass
@@ -72,6 +91,8 @@ class ExecutionStats:
     events: int
     wall_s: float  # end-to-end wall clock of the fan-out
     cell_wall_s: float  # sum of per-cell worker wall clocks
+    cache_hits: int = 0  # cells served from the result cache
+    boot_reuses: int = 0  # cells stamped from a boot snapshot
 
     @property
     def events_per_second(self) -> float:
@@ -119,33 +140,11 @@ def execute_cell(cell: Cell) -> CellOutcome:
             gc.enable()
 
 
-def _execute_cell(cell: Cell) -> CellOutcome:
-    started = time.perf_counter()
-    if cell.kind == "fleet":
-        # Fleet cells boot their own multi-device testbed from the spec
-        # riding the cell, so they never touch the legacy builders.
-        from repro.topology.experiments import execute_fleet_cell
-
-        report, events = execute_fleet_cell(cell)
-        return CellOutcome(
-            cell=cell,
-            value=report,
-            events=events,
-            wall_s=time.perf_counter() - started,
-        )
-    if cell.kind == "guest":
-        # Guest cells boot through the topology builder (the GuestSpec
-        # decides whether a VMM interposes), not the legacy builders.
-        from repro.guest.experiments import execute_guest_cell
-
-        value, events = execute_guest_cell(cell)
-        return CellOutcome(
-            cell=cell,
-            value=value,
-            events=events,
-            wall_s=time.perf_counter() - started,
-        )
-    testbed = _builder(cell.driver)(seed=cell.seed, profile=cell.profile)
+def _measure_cell(cell: Cell, testbed: Any) -> Tuple[Any, int]:
+    """Everything a single-driver cell does after boot: attach plans,
+    apply bounds, run the workload.  Runs either directly on a fresh
+    testbed (cold path) or inside a snapshot fork (stamped path), so it
+    must never rely on parent-process side effects."""
     if cell.kind == "latency":
         runner = run_virtio_payload if cell.driver == "virtio" else run_xdma_payload
         value: Any = runner(testbed, cell.payload, cell.packets)
@@ -225,11 +224,56 @@ def _execute_cell(cell: Cell) -> CellOutcome:
         value = (result, report.as_dict())
     else:
         raise ExecutionError(f"unknown cell kind {cell.kind!r}")
+    return value, testbed.sim.events_executed
+
+
+def _cell_plan(cell: Cell):
+    """``(snap_key, boot, measure)`` for any cell kind.
+
+    ``boot`` is the pure testbed construction -- everything the
+    snapshot key identifies -- and ``measure`` everything after it.
+    Cells that share a key (e.g. every fault rate of one (driver,
+    payload) column, which deliberately shares the latency cell's
+    seed) boot identical machines, so the snapshot layer may measure
+    all of them off one pristine image.
+    """
+    if cell.kind == "fleet":
+        # Fleet cells boot their own multi-device testbed from the spec
+        # riding the cell, so they never touch the legacy builders.
+        from repro.topology.experiments import fleet_cell_plan
+
+        return fleet_cell_plan(cell)
+    if cell.kind == "guest":
+        # Guest cells boot through the topology builder (the GuestSpec
+        # decides whether a VMM interposes), not the legacy builders.
+        from repro.guest.experiments import guest_cell_plan
+
+        return guest_cell_plan(cell)
+    builder = _builder(cell.driver)
+    key = (
+        f"single:{cell.driver}:{cell.seed:#x}:"
+        f"{result_cache.spec_digest(cell.profile)}"
+    )
+
+    def boot() -> Any:
+        return builder(seed=cell.seed, profile=cell.profile)
+
+    def measure(testbed: Any) -> Tuple[Any, int]:
+        return _measure_cell(cell, testbed)
+
+    return key, boot, measure
+
+
+def _execute_cell(cell: Cell) -> CellOutcome:
+    started = time.perf_counter()
+    key, boot, measure = _cell_plan(cell)
+    (value, events), boot_reused = snapshot.execute(key, boot, measure)
     return CellOutcome(
         cell=cell,
         value=value,
-        events=testbed.sim.events_executed,
+        events=events,
         wall_s=time.perf_counter() - started,
+        boot_reused=boot_reused,
     )
 
 
@@ -293,14 +337,8 @@ def _fan_out(pool: ProcessPoolExecutor, cells: Sequence[Cell]) -> List[CellOutco
     return outcomes  # type: ignore[return-value]
 
 
-def run_cells(cells: Sequence[Cell], jobs: int = 1) -> List[CellOutcome]:
-    """Execute *cells*, returning outcomes in cell order.
-
-    ``jobs=1`` runs in-process; ``jobs>1`` fans out over the shared
-    warm pool.  Either way the returned list is indexed by the cells'
-    construction order, so downstream merges are order-deterministic.
-    """
-    jobs = max(1, int(jobs))
+def _run_cells_fresh(cells: Sequence[Cell], jobs: int) -> List[CellOutcome]:
+    """Execute every cell (no cache consult), outcomes in cell order."""
     if jobs == 1 or len(cells) <= 1:
         return [execute_cell(cell) for cell in cells]
     try:
@@ -312,6 +350,35 @@ def run_cells(cells: Sequence[Cell], jobs: int = 1) -> List[CellOutcome]:
         return _fan_out(_get_pool(min(jobs, len(cells))), cells)
 
 
+def run_cells(cells: Sequence[Cell], jobs: int = 1) -> List[CellOutcome]:
+    """Execute *cells*, returning outcomes in cell order.
+
+    ``jobs=1`` runs in-process; ``jobs>1`` fans out over the shared
+    warm pool.  Either way the returned list is indexed by the cells'
+    construction order, so downstream merges are order-deterministic.
+
+    When a result cache is active, every cell is looked up first and
+    only the misses are executed; hits and fresh results merge back in
+    construction order, so the output is byte-identical to an uncached
+    run for any ``jobs`` and any hit/miss mix.
+    """
+    jobs = max(1, int(jobs))
+    cache = result_cache.active_cache()
+    if cache is None:
+        outcomes = _run_cells_fresh(cells, jobs)
+    else:
+        outcomes = [cache.get(cell) for cell in cells]
+        miss_at = [i for i, outcome in enumerate(outcomes) if outcome is None]
+        fresh = _run_cells_fresh([cells[i] for i in miss_at], jobs)
+        for i, outcome in zip(miss_at, fresh):
+            cache.put(cells[i], outcome)
+            outcomes[i] = outcome
+    # Fold worker-side boot reuses (riding the outcome flags) into the
+    # parent-side counter cache_stats() reports.
+    snapshot.note_parent_reuses(sum(1 for o in outcomes if o.boot_reused))
+    return outcomes
+
+
 def _stats(outcomes: Sequence[CellOutcome], jobs: int, wall_s: float) -> ExecutionStats:
     return ExecutionStats(
         jobs=jobs,
@@ -319,6 +386,8 @@ def _stats(outcomes: Sequence[CellOutcome], jobs: int, wall_s: float) -> Executi
         events=sum(o.events for o in outcomes),
         wall_s=wall_s,
         cell_wall_s=sum(o.wall_s for o in outcomes),
+        cache_hits=sum(1 for o in outcomes if o.cached),
+        boot_reuses=sum(1 for o in outcomes if o.boot_reused),
     )
 
 

@@ -38,7 +38,7 @@ from typing import Any, Dict, Generator, List, Optional, Tuple
 import numpy as np
 
 from repro.core.calibration import PAPER_PROFILE, TEST_DST_PORT, CalibrationProfile
-from repro.exec.cells import Cell, derive_cell_seed
+from repro.exec.cells import Cell, cell_seed
 from repro.exec.runner import CellOutcome, ExecutionStats, _stats, run_cells
 from repro.health.monitor import ConservationMonitor, HealthReport
 from repro.host.netstack.rss import flow_hash
@@ -284,15 +284,19 @@ def run_fleet_pod(
     packets: int,
     config: FleetConfig,
     profile: CalibrationProfile = PAPER_PROFILE,
+    testbed: Optional[FleetTestbed] = None,
 ) -> FleetPodReport:
     """Boot one pod and drive all its tenants to completion.
 
     Pure function of its arguments (fresh simulator from *seed*), so
-    pods can run on any process-pool worker in any order.
+    pods can run on any process-pool worker in any order.  Pass a
+    pre-booted *testbed* (same spec, seed, profile) to skip the boot --
+    the snapshot layer uses this to stamp cells from a pristine image.
     """
     from repro.drivers.virtio_net import tx_queue_index
 
-    testbed = build_fleet(config.spec(), seed=seed, profile=profile)
+    if testbed is None:
+        testbed = build_fleet(config.spec(), seed=seed, profile=profile)
     sim = testbed.sim
     functions = testbed.functions
     monitor = ConservationMonitor("virtio", "fleet")
@@ -490,23 +494,51 @@ def fleet_cells(
             profile=profile,
             pod=pod,
             fleet=config,
-            seed=derive_cell_seed(seed, "fleet", pod),
+            seed=cell_seed(seed, "fleet", pod=pod),
         )
         for pod in range(pods)
     ]
 
 
+def fleet_cell_plan(cell: Cell):
+    """``(snap_key, boot, measure)`` for a ``kind="fleet"`` cell.
+
+    ``boot`` is the pure :func:`build_fleet` of the pod's spec;
+    ``measure`` drives the tenants on a booted testbed.  The snapshot
+    key covers everything the boot reads: the fleet config (which
+    defines the spec), the cell seed, and the profile.
+    """
+    from repro.exec.cache import spec_digest
+
+    config = cell.fleet if isinstance(cell.fleet, FleetConfig) else FleetConfig()
+    key = (
+        f"fleet:{spec_digest(config)}:{cell.seed:#x}:{spec_digest(cell.profile)}"
+    )
+
+    def boot() -> FleetTestbed:
+        return build_fleet(config.spec(), seed=cell.seed, profile=cell.profile)
+
+    def measure(testbed: FleetTestbed) -> Tuple[FleetPodReport, int]:
+        report = run_fleet_pod(
+            pod=cell.pod or 0,
+            seed=cell.seed,
+            packets=cell.packets,
+            config=config,
+            profile=cell.profile,
+            testbed=testbed,
+        )
+        return report, report.events
+
+    return key, boot, measure
+
+
 def execute_fleet_cell(cell: Cell) -> Tuple[FleetPodReport, int]:
     """Worker body for ``kind="fleet"`` cells; returns (report, events)."""
-    config = cell.fleet if isinstance(cell.fleet, FleetConfig) else FleetConfig()
-    report = run_fleet_pod(
-        pod=cell.pod or 0,
-        seed=cell.seed,
-        packets=cell.packets,
-        config=config,
-        profile=cell.profile,
-    )
-    return report, report.events
+    from repro.exec import snapshot
+
+    key, boot, measure = fleet_cell_plan(cell)
+    (report, events), _ = snapshot.execute(key, boot, measure)
+    return report, events
 
 
 def run_fleet_sweep(

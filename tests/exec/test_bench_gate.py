@@ -112,6 +112,30 @@ def test_v1_baseline_compares_raw():
     assert not ok and failures
 
 
+def test_warm_cache_rerun_miss_fails():
+    current = _current()
+    current["cache_rerun"] = {"cells": 4, "hits": 3, "misses": 1}
+    ok, failures, details = evaluate_check(_baseline(), current, tolerance=0.15)
+    assert not ok
+    assert any("warm cache rerun missed" in failure for failure in failures)
+    assert details["cache_rerun"] == {"cells": 4, "hits": 3, "misses": 1}
+
+
+def test_warm_cache_rerun_all_hits_passes():
+    current = _current()
+    current["cache_rerun"] = {"cells": 4, "hits": 4, "misses": 0}
+    ok, failures, details = evaluate_check(_baseline(), current, tolerance=0.15)
+    assert ok and not failures
+    assert details["cache_rerun"]["misses"] == 0
+
+
+def test_no_cache_rerun_section_is_fine():
+    # bench --check without an active cache records no rerun; the
+    # gate must not demand one.
+    ok, _, details = evaluate_check(_baseline(), _current(), tolerance=0.15)
+    assert ok and "cache_rerun" not in details
+
+
 def test_bad_tolerance_rejected():
     with pytest.raises(ValueError):
         evaluate_check(_baseline(), _current(), tolerance=0.0)

@@ -1,0 +1,246 @@
+"""The content-addressed result cache: parity, invalidation, robustness.
+
+The contract under test (docs/architecture.md, "Result cache &
+snapshot boot reuse"):
+
+* a warm rerun of an unchanged command is byte-identical to the cold
+  run, for any ``--jobs`` and any hit/miss mix;
+* the key covers every relevant input -- root seed, any spec field,
+  the source of any module the kind executes -- and nothing more (a
+  change to an unrelated subpackage keeps entries valid);
+* a defective entry (truncated, corrupted, wrong magic) is a miss,
+  never an error.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.exec import cache as result_cache
+from repro.exec.cache import CacheError, ResultCache, code_fingerprint
+from repro.exec.cells import latency_cells
+from repro.exec.runner import CellOutcome
+
+
+@pytest.fixture(autouse=True)
+def _no_global_cache():
+    """Leave no process-global cache behind for other tests."""
+    yield
+    result_cache.configure(enabled=False)
+
+
+def strip_stats(out: str) -> str:
+    """Drop the ``cache_stats`` section from a CLI JSON artifact.
+
+    ``cache_stats`` is the one intentional difference between cached
+    and uncached output; everything else must match byte-for-byte
+    (floats round-trip exactly through json, so re-dumping is safe).
+    """
+    payload = json.loads(out)
+    payload.pop("cache_stats", None)
+    return json.dumps(payload, indent=2) + "\n"
+
+
+def run_cli(argv, capsys) -> str:
+    main(argv)
+    return capsys.readouterr().out
+
+
+class TestCliParity:
+    ARGV = ["table1", "--packets", "12", "--payloads", "64", "1024",
+            "--seed", "3", "--json"]
+
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_warm_hit_is_byte_identical(self, jobs, tmp_path, capsys):
+        argv = self.ARGV + ["-j", str(jobs)]
+        cold = run_cli(argv, capsys)
+
+        cached = argv + ["--cache", "--cache-dir", str(tmp_path)]
+        first = run_cli(cached, capsys)
+        stats = json.loads(first)["cache_stats"]
+        assert stats["hits"] == 0 and stats["misses"] == stats["stores"] == 4
+
+        second = run_cli(cached, capsys)
+        stats = json.loads(second)["cache_stats"]
+        assert stats["hits"] == 4 and stats["misses"] == 0
+
+        assert strip_stats(first) == cold
+        assert strip_stats(second) == cold
+
+    def test_mixed_hit_miss_is_byte_identical(self, tmp_path, capsys):
+        # Populate only the 64 B column, then run 64+1024: two cells
+        # come from disk, two run fresh, and the merged artifact still
+        # matches a fully cold run byte-for-byte.
+        base = ["table1", "--packets", "12", "--seed", "3", "--json", "-j", "4"]
+        cached = ["--cache", "--cache-dir", str(tmp_path)]
+        run_cli(base + ["--payloads", "64"] + cached, capsys)
+
+        cold = run_cli(base + ["--payloads", "64", "1024"], capsys)
+        mixed = run_cli(base + ["--payloads", "64", "1024"] + cached, capsys)
+        stats = json.loads(mixed)["cache_stats"]
+        assert stats["hits"] == 2 and stats["misses"] == 2
+        assert strip_stats(mixed) == cold
+
+    def test_no_cache_flag_wins_over_env(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "1")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        argv = ["table1", "--packets", "8", "--payloads", "64", "--seed", "3",
+                "--json", "-j", "1"]
+        enabled = run_cli(argv, capsys)
+        assert "cache_stats" in json.loads(enabled)
+        disabled = run_cli(argv + ["--no-cache"], capsys)
+        assert "cache_stats" not in json.loads(disabled)
+
+    def test_cache_and_no_cache_conflict(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["table1", "--json", "--cache", "--no-cache"])
+
+
+def _cell(seed: int = 9, packets: int = 10):
+    return latency_cells((64,), packets=packets, seed=seed)[0]
+
+
+def _outcome(cell):
+    return CellOutcome(cell=cell, value={"rtt": [1, 2, 3]}, events=42,
+                       wall_s=0.25)
+
+
+class TestKeying:
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cell = _cell()
+        assert cache.get(cell) is None
+        cache.put(cell, _outcome(cell))
+        hit = cache.get(cell)
+        assert hit is not None and hit.cached
+        assert hit.value == {"rtt": [1, 2, 3]}
+        assert hit.events == 42 and hit.wall_s == 0.25
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_seed_change_forces_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        assert cache.key(_cell(seed=9)) != cache.key(_cell(seed=10))
+
+    def test_spec_change_forces_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        assert cache.key(_cell(packets=10)) != cache.key(_cell(packets=11))
+
+    def test_code_change_forces_miss(self, tmp_path, monkeypatch):
+        cache = ResultCache(str(tmp_path))
+        cell = _cell()
+        cache.put(cell, _outcome(cell))
+        monkeypatch.setitem(result_cache._FINGERPRINTS, "latency", "0" * 64)
+        assert cache.get(cell) is None
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(CacheError, match="thermal"):
+            code_fingerprint("thermal")
+
+
+class TestFingerprints:
+    BASE = {
+        "core/latency.py": "aa", "sim/kernel.py": "bb",
+        "guest/experiments.py": "cc", "workload/openload.py": "dd",
+    }
+
+    def test_relevant_module_changes_fingerprint(self):
+        changed = dict(self.BASE, **{"sim/kernel.py": "ee"})
+        assert code_fingerprint("latency", self.BASE) != code_fingerprint(
+            "latency", changed
+        )
+
+    def test_irrelevant_module_keeps_fingerprint(self):
+        # latency cells never execute guest code: editing the guest
+        # subpackage must not invalidate their cached results.
+        changed = dict(self.BASE, **{"guest/experiments.py": "ee"})
+        assert code_fingerprint("latency", self.BASE) == code_fingerprint(
+            "latency", changed
+        )
+        # ... but it must invalidate guest cells.
+        assert code_fingerprint("guest", self.BASE) != code_fingerprint(
+            "guest", changed
+        )
+
+    def test_kind_manifests_differ(self):
+        assert code_fingerprint("latency", self.BASE) != code_fingerprint(
+            "openload", self.BASE
+        )
+
+    def test_every_kind_has_a_manifest_fingerprint(self):
+        for kind in result_cache.KIND_MODULES:
+            assert len(code_fingerprint(kind, self.BASE)) == 64
+
+
+class TestCorruption:
+    def _entry_path(self, cache, cell):
+        return cache._path(cache.key(cell))
+
+    def test_flipped_byte_is_a_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cell = _cell()
+        cache.put(cell, _outcome(cell))
+        path = self._entry_path(cache, cell)
+        data = bytearray(open(path, "rb").read())
+        data[-1] ^= 0xFF
+        open(path, "wb").write(bytes(data))
+        assert cache.get(cell) is None
+        assert cache.stats.misses == 1
+
+    def test_truncated_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cell = _cell()
+        cache.put(cell, _outcome(cell))
+        path = self._entry_path(cache, cell)
+        open(path, "wb").write(open(path, "rb").read()[:10])
+        assert cache.get(cell) is None
+
+    def test_bad_magic_is_a_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cell = _cell()
+        cache.put(cell, _outcome(cell))
+        path = self._entry_path(cache, cell)
+        data = open(path, "rb").read()
+        open(path, "wb").write(b"NOPE" + data[4:])
+        assert cache.get(cell) is None
+
+    def test_unpicklable_payload_is_a_miss(self, tmp_path):
+        import hashlib
+
+        cache = ResultCache(str(tmp_path))
+        cell = _cell()
+        payload = b"this is not a pickle"
+        entry = result_cache._MAGIC + hashlib.sha256(payload).digest() + payload
+        path = self._entry_path(cache, cell)
+        import os
+
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        open(path, "wb").write(entry)
+        assert cache.get(cell) is None
+
+
+class TestCanonical:
+    def test_dataclasses_are_tagged(self):
+        cell = _cell()
+        form = result_cache.canonical(cell)
+        assert form["__type__"] == "Cell"
+        assert form["kind"] == "latency" and form["payload"] == 64
+
+    def test_float_exactness(self):
+        a = result_cache.spec_digest({"rate": 0.1})
+        b = result_cache.spec_digest({"rate": 0.1 + 2**-54})
+        assert a != b
+
+    def test_equal_fields_different_types_do_not_collide(self):
+        @dataclasses.dataclass
+        class A:
+            x: int = 1
+
+        @dataclasses.dataclass
+        class B:
+            x: int = 1
+
+        assert result_cache.spec_digest(A()) != result_cache.spec_digest(B())

@@ -1,0 +1,78 @@
+"""Cold vs warm golden parity for every CLI artifact.
+
+``tests/topology/test_golden_parity.py`` pins every artifact's bytes
+against the pre-topology goldens with the cache disabled.  This module
+repeats the pin *through the result cache*: the populate pass (all
+misses) and the warm pass (all hits) must both reproduce the golden
+bytes exactly, at ``-j 1`` and ``-j 4``.  Together with the mixed
+hit/miss case in ``test_cache.py`` this is the acceptance matrix
+{cold, warm-hit, mixed} x jobs {1, 4}.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.exec import cache as result_cache
+
+_TOPOLOGY = Path(__file__).parent.parent / "topology"
+
+
+def _load_golden_module():
+    spec = importlib.util.spec_from_file_location(
+        "golden_parity", _TOPOLOGY / "test_golden_parity.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+_GOLDEN_MOD = _load_golden_module()
+COMMANDS = _GOLDEN_MOD.COMMANDS
+GOLDEN = _TOPOLOGY / "golden"
+
+
+@pytest.fixture(autouse=True)
+def _no_global_cache():
+    yield
+    result_cache.configure(enabled=False)
+
+
+def strip_stats(out: str) -> str:
+    payload = json.loads(out)
+    payload.pop("cache_stats", None)
+    return json.dumps(payload, indent=2) + "\n"
+
+
+@pytest.mark.parametrize("golden_name", sorted(COMMANDS))
+@pytest.mark.parametrize("jobs", [1, 4])
+def test_cached_artifact_matches_golden(golden_name, jobs, tmp_path, capsys):
+    argv = COMMANDS[golden_name] + [
+        "-j", str(jobs), "--cache", "--cache-dir", str(tmp_path)
+    ]
+    expected = (GOLDEN / golden_name).read_text()
+
+    main(argv)
+    cold = capsys.readouterr().out
+    cold_stats = json.loads(cold)["cache_stats"]
+    assert cold_stats["hits"] == 0, f"{golden_name}: populate pass saw hits"
+    assert strip_stats(cold) == expected, (
+        f"{golden_name} populate pass diverged from golden at -j{jobs}"
+    )
+
+    main(argv)
+    warm = capsys.readouterr().out
+    warm_stats = json.loads(warm)["cache_stats"]
+    assert warm_stats["misses"] == 0, (
+        f"{golden_name}: warm rerun missed "
+        f"({warm_stats['hits']} hits, {warm_stats['misses']} misses)"
+    )
+    assert warm_stats["hits"] == cold_stats["stores"]
+    assert strip_stats(warm) == expected, (
+        f"{golden_name} warm pass diverged from golden at -j{jobs}"
+    )

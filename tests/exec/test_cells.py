@@ -4,13 +4,20 @@ import pytest
 
 from repro.exec import (
     Cell,
+    cell_seed,
     closed_sweep_cells,
     derive_cell_seed,
     execute_cell,
     latency_cells,
     run_cells,
+    seed_identity,
 )
-from repro.exec.cells import calibration_cells, open_sweep_cells
+from repro.exec.cells import (
+    SEED_IDENTITY_ALIASES,
+    calibration_cells,
+    fault_cells,
+    open_sweep_cells,
+)
 
 
 class TestSeedDerivation:
@@ -40,6 +47,60 @@ class TestSeedDerivation:
     def test_seed_fits_simulator(self):
         seed = derive_cell_seed(12345, "latency", "xdma", 4096)
         assert 0 <= seed < (1 << 128)
+
+
+class TestSeedIdentity:
+    """The one helper that owns every kind's spawn-key identity."""
+
+    def test_identity_tuples(self):
+        assert seed_identity("latency", "virtio", payload=64) == (
+            "latency", "virtio", 64
+        )
+        assert seed_identity("calibrate", "xdma") == ("calibrate", "xdma")
+        assert seed_identity("openload", "virtio", index=3) == (
+            "openload", "virtio", 3
+        )
+        assert seed_identity("closedload", "xdma", outstanding=4) == (
+            "closedload", "xdma", 4
+        )
+        assert seed_identity("fleet", pod=1) == ("fleet", 1)
+
+    def test_aliased_kinds_share_parent_identity(self):
+        # faultlat/guest cells must replay the latency cell's stream
+        # (the baseline column pin), overload must replay openload's.
+        assert seed_identity("faultlat", "virtio", payload=64) == seed_identity(
+            "latency", "virtio", payload=64
+        )
+        assert seed_identity("guest", "virtio", payload=64) == seed_identity(
+            "latency", "virtio", payload=64
+        )
+        assert seed_identity("overload", "xdma", index=2) == seed_identity(
+            "openload", "xdma", index=2
+        )
+        assert set(SEED_IDENTITY_ALIASES) == {"faultlat", "guest", "overload"}
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="no seed identity"):
+            seed_identity("thermal", "virtio", payload=64)
+
+    def test_incomplete_identity_rejected(self):
+        with pytest.raises(ValueError, match="incomplete seed identity"):
+            seed_identity("latency", "virtio")  # payload missing
+        with pytest.raises(ValueError, match="incomplete seed identity"):
+            seed_identity("closedload", "xdma")  # outstanding missing
+
+    def test_cell_seed_matches_raw_derivation(self):
+        assert cell_seed(7, "latency", "virtio", payload=64) == derive_cell_seed(
+            7, "latency", "virtio", 64
+        )
+
+    def test_factories_agree_with_helper(self):
+        lat = latency_cells((64,), packets=5, seed=7)[0]
+        assert lat.seed == cell_seed(7, "latency", lat.driver, payload=64)
+        fault = fault_cells(("virtio",), (0.01,), payload=64, packets=5, seed=7)[0]
+        assert fault.seed == cell_seed(7, "faultlat", fault.driver, payload=64)
+        closed = closed_sweep_cells("xdma", (2,), (64,), packets=5, seed=7)[0]
+        assert closed.seed == cell_seed(7, "closedload", "xdma", outstanding=2)
 
 
 class TestDecomposition:
